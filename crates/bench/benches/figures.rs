@@ -1,0 +1,69 @@
+//! One benchmark per paper table/figure: each measured body runs the
+//! exact harness code that regenerates the artifact, at bench scale
+//! (quarter footprints) so a full `cargo bench` stays tractable.
+//!
+//! Run with `cargo bench -p bench --bench figures`. For the
+//! paper-faithful full-scale outputs, use the `harness` binaries
+//! (`cargo run --release -p harness --bin all`).
+
+use bench::bench_config;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harness::experiments;
+use harness::ExpConfig;
+
+fn artifact(c: &mut Criterion, name: &str, run: fn(&ExpConfig, usize) -> String) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("paper_artifacts");
+    g.sample_size(10);
+    g.bench_function(name, |b| b.iter(|| black_box(run(&cfg, 0))));
+    g.finish();
+}
+
+fn fig3(c: &mut Criterion) {
+    artifact(c, "fig3", experiments::fig3::run);
+}
+fn fig4(c: &mut Criterion) {
+    artifact(c, "fig4", experiments::fig4::run);
+}
+fn fig7(c: &mut Criterion) {
+    artifact(c, "fig7", experiments::fig7::run);
+}
+fn fig8(c: &mut Criterion) {
+    artifact(c, "fig8", experiments::fig8::run);
+}
+fn fig9(c: &mut Criterion) {
+    artifact(c, "fig9", experiments::fig9::run);
+}
+fn fig10(c: &mut Criterion) {
+    artifact(c, "fig10", experiments::fig10::run);
+}
+fn table3(c: &mut Criterion) {
+    artifact(c, "table3", experiments::table3::run);
+}
+fn table4(c: &mut Criterion) {
+    artifact(c, "table4", experiments::table4::run);
+}
+fn sens(c: &mut Criterion) {
+    artifact(c, "sens", experiments::sens::run);
+}
+fn overhead(c: &mut Criterion) {
+    artifact(c, "overhead", experiments::overhead::run);
+}
+fn motivation(c: &mut Criterion) {
+    artifact(c, "motivation", experiments::motivation::run);
+}
+fn ablation(c: &mut Criterion) {
+    artifact(c, "ablation", experiments::ablation::run);
+}
+fn bound(c: &mut Criterion) {
+    artifact(c, "bound", experiments::bound::run);
+}
+fn timeline(c: &mut Criterion) {
+    artifact(c, "timeline", experiments::timeline::run);
+}
+
+criterion_group!(
+    figures, fig3, fig4, fig7, fig8, fig9, fig10, table3, table4, sens, overhead, motivation,
+    ablation, bound, timeline
+);
+criterion_main!(figures);

@@ -1,0 +1,159 @@
+//! Micro-benchmarks for the hot-path structures.
+//!
+//! Run with `cargo bench -p bench --bench micro`.
+
+use cppe::chain::ChunkChain;
+use cppe::evicted_buffer::EvictedBuffer;
+use cppe::prefetch::pattern::{DeletionScheme, PatternBuffer};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gmmu::page_table::PageTable;
+use gmmu::tlb::{Tlb, TlbConfig};
+use gmmu::types::{ChunkId, Frame, VirtPage};
+use gmmu::walk_cache::WalkCache;
+use gmmu::walker::{Walker, WalkerConfig};
+use sim_core::time::Cycle;
+use sim_core::{EventQueue, FxHashSet, TouchVec};
+
+fn chain_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunk_chain");
+    g.bench_function("insert_move_remove_1k", |b| {
+        b.iter(|| {
+            let mut ch = ChunkChain::new();
+            for i in 0..1000u64 {
+                ch.insert_tail(ChunkId(i), i / 4);
+            }
+            for i in 0..500u64 {
+                ch.insert_tail(ChunkId(i), 300); // move to tail
+            }
+            for i in 0..1000u64 {
+                ch.remove(ChunkId(i));
+            }
+            black_box(ch.len())
+        });
+    });
+    g.bench_function("select_mru_old_fd8", |b| {
+        let mut ch = ChunkChain::new();
+        for i in 0..2000u64 {
+            ch.insert_tail(ChunkId(i), i / 4);
+        }
+        let none = FxHashSet::default();
+        b.iter(|| black_box(ch.select_mru_old(8, 600, &none)));
+    });
+    g.bench_function("select_lru_old", |b| {
+        let mut ch = ChunkChain::new();
+        for i in 0..2000u64 {
+            ch.insert_tail(ChunkId(i), i / 4);
+        }
+        let none = FxHashSet::default();
+        b.iter(|| black_box(ch.select_lru_old(600, &none)));
+    });
+    g.finish();
+}
+
+fn tlb_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb");
+    g.bench_function("l1_lookup_hit", |b| {
+        let mut tlb = Tlb::new(TlbConfig::l1_default());
+        for i in 0..128u64 {
+            tlb.insert(VirtPage(i), Frame(i as u32));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 128;
+            black_box(tlb.lookup(VirtPage(i)))
+        });
+    });
+    g.bench_function("l2_miss_insert_evict", |b| {
+        let mut tlb = Tlb::new(TlbConfig::l2_default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tlb.lookup(VirtPage(i));
+            black_box(tlb.insert(VirtPage(i), Frame(i as u32)))
+        });
+    });
+    g.finish();
+}
+
+fn walker_ops(c: &mut Criterion) {
+    c.bench_function("walker_warm_walk", |b| {
+        let mut w = Walker::new(WalkerConfig::default());
+        let mut pwc = WalkCache::table1_default();
+        let mut pt = PageTable::new();
+        for i in 0..512u64 {
+            pt.map(VirtPage(i), Frame(i as u32), false);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(w.walk(VirtPage(i), Cycle(i * 1000), &mut pwc, &pt))
+        });
+    });
+}
+
+fn pattern_ops(c: &mut Criterion) {
+    c.bench_function("pattern_buffer_record_probe", |b| {
+        let mut buf = PatternBuffer::new();
+        let stride2 = TouchVec::from_bits(0x5555);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let chunk = ChunkId(i % 1024);
+            buf.record(chunk, stride2);
+            black_box(buf.probe(chunk.page(2), DeletionScheme::Scheme2))
+        });
+    });
+    c.bench_function("evicted_buffer_push_take", |b| {
+        let mut buf = EvictedBuffer::new(64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            buf.push(ChunkId(i % 512));
+            black_box(buf.take(ChunkId((i * 7) % 512)))
+        });
+    });
+}
+
+fn event_queue_ops(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut x = 0x9E37_79B9u64;
+            for i in 0..1000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                q.push(Cycle(x % 100_000), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+}
+
+fn fault_batch(c: &mut Criterion) {
+    c.bench_function("uvm_service_batch_28_faults", |b| {
+        use cppe::presets::PolicyPreset;
+        use gmmu::translation::{TranslationConfig, TranslationPath};
+        use uvm::driver::{UvmConfig, UvmDriver};
+        b.iter(|| {
+            let mut driver = UvmDriver::new(UvmConfig::table1(2048, 4096), PolicyPreset::Cppe.build(1));
+            let mut xlat = TranslationPath::new(&TranslationConfig::default());
+            let faults: Vec<VirtPage> = (0..28u64).map(|i| VirtPage(i * 16)).collect();
+            black_box(driver.service_batch(&faults, Cycle::ZERO, &mut xlat))
+        });
+    });
+}
+
+criterion_group!(
+    micro,
+    chain_ops,
+    tlb_ops,
+    walker_ops,
+    pattern_ops,
+    event_queue_ops,
+    fault_batch
+);
+criterion_main!(micro);

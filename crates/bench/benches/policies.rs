@@ -1,0 +1,33 @@
+//! End-to-end policy benchmarks: full simulator runs per policy preset
+//! on reduced-scale workloads — one thrashing (STN), one strided (NW),
+//! one streaming (HOT).
+//!
+//! Run with `cargo bench -p bench --bench policies`.
+
+use bench::{bench_streams, run_streams};
+use cppe::presets::PolicyPreset;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn policy_runs(c: &mut Criterion) {
+    for abbr in ["STN", "NW", "HOT"] {
+        let (streams, capacity, pages, gpu) = bench_streams(abbr);
+        let mut g = c.benchmark_group(format!("simulate_{abbr}"));
+        g.sample_size(10);
+        for preset in [
+            PolicyPreset::Baseline,
+            PolicyPreset::Random,
+            PolicyPreset::ReservedLru20,
+            PolicyPreset::DisablePfOnFull,
+            PolicyPreset::MhpeOnly,
+            PolicyPreset::Cppe,
+        ] {
+            g.bench_function(preset.label(), |b| {
+                b.iter(|| black_box(run_streams(&streams, capacity, pages, &gpu, preset)));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(policies, policy_runs);
+criterion_main!(policies);

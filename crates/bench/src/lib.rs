@@ -1,0 +1,81 @@
+//! # bench — Criterion benchmarks for the CPPE reproduction
+//!
+//! Two benchmark families (see `benches/`):
+//!
+//! * `micro` — hot-path micro-benchmarks: chunk-chain operations, TLB
+//!   lookups, page-table walks, pattern-buffer probes and a single
+//!   fault-batch service.
+//! * `policies` — end-to-end simulator runs per policy preset on a
+//!   reduced-scale workload (the policy-comparison microcosm).
+//! * `figures` — one group per paper table/figure, running the same
+//!   harness code the `harness` binaries use at a reduced scale.
+//!
+//! Helpers shared by the bench targets live here.
+
+use cppe::presets::PolicyPreset;
+use gpu::{simulate, GpuConfig, RunResult};
+use workloads::registry;
+
+/// A small, fast experiment configuration for benchmarking: quarter
+/// footprints, one lane per SM.
+#[must_use]
+pub fn bench_config() -> harness::ExpConfig {
+    harness::ExpConfig {
+        scale: 0.25,
+        ..harness::ExpConfig::default()
+    }
+}
+
+/// Run one benchmark cell (small scale) and return the result.
+#[must_use]
+pub fn bench_cell(abbr: &str, preset: PolicyPreset, rate: f64) -> RunResult {
+    let cfg = bench_config();
+    let spec = registry::by_abbr(abbr).expect("known workload");
+    harness::run_cell(&spec, preset, rate, &cfg)
+}
+
+/// Prebuilt lane streams for a workload at bench scale.
+#[must_use]
+pub fn bench_streams(abbr: &str) -> (Vec<Vec<workloads::LaneItem>>, u32, u64, GpuConfig) {
+    let cfg = bench_config();
+    let spec = registry::by_abbr(abbr).expect("known workload");
+    let lanes = cfg.gpu.lanes();
+    let streams: Vec<_> = (0..lanes)
+        .map(|l| spec.lane_items(l, lanes, cfg.scale))
+        .collect();
+    let capacity = harness::capacity_pages(&spec, 0.5, cfg.scale);
+    (streams, capacity, spec.pages(cfg.scale), cfg.gpu)
+}
+
+/// Run prebuilt streams under a preset (the measured body of the
+/// `policies` benches).
+#[must_use]
+pub fn run_streams(
+    streams: &[Vec<workloads::LaneItem>],
+    capacity: u32,
+    pages: u64,
+    gpu: &GpuConfig,
+    preset: PolicyPreset,
+) -> RunResult {
+    simulate(gpu, preset.build(42), streams, capacity, pages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_cell_runs() {
+        let r = bench_cell("STN", PolicyPreset::Baseline, 0.5);
+        assert!(r.accesses > 0);
+    }
+
+    #[test]
+    fn bench_streams_shapes() {
+        let (streams, capacity, pages, gpu) = bench_streams("STN");
+        assert_eq!(streams.len(), gpu.lanes());
+        assert!(u64::from(capacity) < pages);
+        let r = run_streams(&streams, capacity, pages, &gpu, PolicyPreset::Cppe);
+        assert!(r.completed());
+    }
+}

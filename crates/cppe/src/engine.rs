@@ -1,0 +1,424 @@
+//! The policy engine — the driver-side coordination layer.
+//!
+//! [`PolicyEngine`] owns the chunk chain and one prefetcher + one
+//! eviction policy, and is driven by the `uvm` fault handler. This is
+//! where CPPE's *fine-grained coordination* lives:
+//!
+//! * the eviction policy selects chunks that were brought in by the
+//!   prefetcher (prefetch-semantics awareness), and
+//! * at eviction the chunk's touch vector — assembled from the page
+//!   table's access bits — is handed to the prefetcher, which records it
+//!   in its pattern buffer and uses it to plan future prefetches.
+//!
+//! The engine also maintains the *interval* clock: one interval = 64
+//! migrated pages (§IV-B; four 16-page chunk migrations per interval),
+//! and interval accounting for MHPE starts once memory first fills.
+
+use crate::chain::ChunkChain;
+use crate::evict::{EvictPolicy, InsertAt};
+use crate::prefetch::{PrefetchCtx, Prefetcher};
+use gmmu::page_table::PageTable;
+use gmmu::types::{ChunkId, VirtPage};
+use sim_core::{FxHashSet, TouchVec};
+
+/// Pages per interval (§IV-B: "the interval length is 64").
+pub const INTERVAL_PAGES: u64 = 64;
+
+/// Aggregate counters the engine maintains for the evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Demand faults observed.
+    pub faults: u64,
+    /// Pages migrated host→GPU (faulted + prefetched).
+    pub pages_migrated: u64,
+    /// Pages migrated beyond the faulted page.
+    pub pages_prefetched: u64,
+    /// Chunk evictions performed.
+    pub chunk_evictions: u64,
+    /// Pages evicted GPU→host.
+    pub pages_evicted: u64,
+    /// Sum of untouch levels over all evictions.
+    pub total_untouch: u64,
+    /// Chain length high-water mark.
+    pub chain_max_len: usize,
+}
+
+/// The engine.
+pub struct PolicyEngine {
+    chain: ChunkChain,
+    evict: Box<dyn EvictPolicy>,
+    prefetch: Box<dyn Prefetcher>,
+    interval: u64,
+    pages_into_interval: u64,
+    memory_full: bool,
+    intervals_since_full: u64,
+    /// Chain length when memory first filled (overhead analysis).
+    pub chain_len_at_full: usize,
+    /// Aggregate counters.
+    pub stats: EngineStats,
+}
+
+impl PolicyEngine {
+    /// Combine an eviction policy and a prefetcher.
+    #[must_use]
+    pub fn new(evict: Box<dyn EvictPolicy>, prefetch: Box<dyn Prefetcher>) -> Self {
+        PolicyEngine {
+            chain: ChunkChain::new(),
+            evict,
+            prefetch,
+            interval: 0,
+            pages_into_interval: 0,
+            memory_full: false,
+            intervals_since_full: 0,
+            chain_len_at_full: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// `"<evict>+<prefetch>"`, e.g. `"mhpe+pattern-aware-s2"`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("{}+{}", self.evict.name(), self.prefetch.name())
+    }
+
+    /// The chunk chain (read-only).
+    #[must_use]
+    pub fn chain(&self) -> &ChunkChain {
+        &self.chain
+    }
+
+    /// Has memory filled at least once?
+    #[must_use]
+    pub fn memory_full(&self) -> bool {
+        self.memory_full
+    }
+
+    /// Current interval number (from program start).
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// The `uvm` driver reports that GPU memory is at capacity. Policies
+    /// size their auxiliary structures on the first call.
+    pub fn note_memory_full(&mut self) {
+        if !self.memory_full {
+            self.memory_full = true;
+            self.chain_len_at_full = self.chain.len();
+            self.evict.on_memory_full(&self.chain);
+        }
+    }
+
+    /// A demand fault on `page` was observed (pre-migration bookkeeping:
+    /// wrong-eviction buffers).
+    pub fn note_fault(&mut self, page: VirtPage) {
+        self.stats.faults += 1;
+        self.evict.on_fault(page);
+    }
+
+    /// Plan the pages to migrate for a fault on `page`.
+    pub fn plan_prefetch(&mut self, page: VirtPage, pt: &PageTable) -> Vec<VirtPage> {
+        let ctx = PrefetchCtx {
+            page_table: pt,
+            memory_full: self.memory_full,
+        };
+        let plan = self.prefetch.plan(page, &ctx);
+        debug_assert!(plan.contains(&page), "plan must include the faulted page");
+        debug_assert!(
+            plan.iter().all(|&p| !pt.is_resident(p)),
+            "plan must only contain non-resident pages"
+        );
+        plan
+    }
+
+    /// Select a victim chunk (memory must be full). `exclude` holds the
+    /// chunks pinned by the in-flight fault batch; if exclusion makes
+    /// selection impossible the pinned set is ignored (better a pinned
+    /// victim than an unservable fault).
+    pub fn select_victim(&mut self, exclude: &FxHashSet<ChunkId>) -> Option<ChunkId> {
+        self.evict
+            .select_victim(&self.chain, self.interval, exclude)
+            .or_else(|| {
+                self.evict
+                    .select_victim(&self.chain, self.interval, &FxHashSet::default())
+            })
+    }
+
+    /// `chunk` was evicted; `touch` is its touch vector with bits set
+    /// only for pages that were resident *and* touched (read from the
+    /// page-table access bits), and `resident` the number of pages that
+    /// were actually resident (= transferred back to the host).
+    pub fn note_evicted(&mut self, chunk: ChunkId, touch: TouchVec, resident: u32) {
+        let untouch = resident.saturating_sub(touch.count_touched());
+        self.stats.chunk_evictions += 1;
+        self.stats.pages_evicted += u64::from(resident);
+        self.stats.total_untouch += u64::from(untouch);
+        self.chain.remove(chunk);
+        self.evict.on_evict(chunk, untouch);
+        self.prefetch.on_evict(chunk, touch);
+    }
+
+    /// `pages` pages of `chunk` were migrated in (one of them the
+    /// demand-faulted page when `demand` is true). Advances the interval
+    /// clock and fires `on_interval` at boundaries.
+    pub fn note_migrated(&mut self, chunk: ChunkId, pages: u32, demand: bool) {
+        let pos = self.evict.insert_position(chunk);
+        match pos {
+            InsertAt::Tail => self.chain.insert_tail(chunk, self.interval),
+            InsertAt::Head => self.chain.insert_head(chunk, self.interval),
+        }
+        self.evict
+            .on_migrate(&mut self.chain, chunk, pages, self.interval);
+        self.stats.pages_migrated += u64::from(pages);
+        if demand {
+            self.stats.pages_prefetched += u64::from(pages.saturating_sub(1));
+        } else {
+            self.stats.pages_prefetched += u64::from(pages);
+        }
+        self.stats.chain_max_len = self.stats.chain_max_len.max(self.chain.len());
+
+        self.pages_into_interval += u64::from(pages);
+        while self.pages_into_interval >= INTERVAL_PAGES {
+            self.pages_into_interval -= INTERVAL_PAGES;
+            self.interval += 1;
+            if self.memory_full {
+                self.intervals_since_full += 1;
+                self.evict.on_interval(self.intervals_since_full);
+            }
+        }
+    }
+
+    /// Wrong evictions recorded by the policy.
+    #[must_use]
+    pub fn wrong_evictions(&self) -> u64 {
+        self.evict.wrong_evictions()
+    }
+
+    /// Overhead-analysis snapshot (§VI-C): chain length at full, the
+    /// eviction policy's buffer high-water mark, and the prefetcher's
+    /// pattern-buffer high-water mark.
+    #[must_use]
+    pub fn overhead(&self) -> OverheadSnapshot {
+        OverheadSnapshot {
+            chain_len_at_full: self.chain_len_at_full,
+            chain_max_len: self.stats.chain_max_len,
+            evicted_buffer_max: self.evict.aux_buffer_max_len(),
+            pattern_buffer_max: self.prefetch.pattern_buffer_max_len(),
+        }
+    }
+
+    /// Mutable access to the eviction policy (downcasting in the
+    /// harness for MHPE-specific traces).
+    pub fn evict_policy_mut(&mut self) -> &mut dyn EvictPolicy {
+        self.evict.as_mut()
+    }
+}
+
+/// Structure sizes for the §VI-C overhead analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverheadSnapshot {
+    /// Chain length when memory first filled.
+    pub chain_len_at_full: usize,
+    /// Chain length high-water mark.
+    pub chain_max_len: usize,
+    /// Wrong-eviction buffer high-water mark.
+    pub evicted_buffer_max: usize,
+    /// Pattern buffer high-water mark.
+    pub pattern_buffer_max: usize,
+}
+
+impl OverheadSnapshot {
+    /// Total entries across the three structures (paper counts one
+    /// 12-byte entry per chunk in each structure).
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.chain_max_len + self.evicted_buffer_max + self.pattern_buffer_max
+    }
+
+    /// Storage bytes at 12 B/entry (§VI-C: 8 B tag + 4 B bit set).
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.total_entries() * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evict::lru::LruPolicy;
+    use crate::evict::mhpe::MhpePolicy;
+    use crate::prefetch::sequential::SequentialLocalPrefetcher;
+
+    fn baseline() -> PolicyEngine {
+        PolicyEngine::new(
+            Box::new(LruPolicy::new()),
+            Box::new(SequentialLocalPrefetcher::naive()),
+        )
+    }
+
+    #[test]
+    fn name_combines_policy_and_prefetcher() {
+        assert_eq!(baseline().name(), "lru+seq-local");
+    }
+
+    #[test]
+    fn plan_includes_fault_and_filters_resident() {
+        let mut e = baseline();
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(1), gmmu::types::Frame(0), false);
+        let plan = e.plan_prefetch(VirtPage(3), &pt);
+        assert!(plan.contains(&VirtPage(3)));
+        assert!(!plan.contains(&VirtPage(1)));
+        assert_eq!(plan.len(), 15);
+    }
+
+    #[test]
+    fn interval_advances_every_64_pages() {
+        let mut e = baseline();
+        assert_eq!(e.interval(), 0);
+        for i in 0..3 {
+            e.note_migrated(ChunkId(i), 16, true);
+        }
+        assert_eq!(e.interval(), 0);
+        e.note_migrated(ChunkId(3), 16, true);
+        assert_eq!(e.interval(), 1);
+        for i in 4..8 {
+            e.note_migrated(ChunkId(i), 16, true);
+        }
+        assert_eq!(e.interval(), 2);
+    }
+
+    #[test]
+    fn policy_interval_hook_fires_only_after_full() {
+        let mut e = PolicyEngine::new(
+            Box::new(MhpePolicy::new()),
+            Box::new(SequentialLocalPrefetcher::naive()),
+        );
+        // 8 chunk migrations = 2 intervals, memory not yet full.
+        for i in 0..8 {
+            e.note_migrated(ChunkId(i), 16, true);
+        }
+        e.note_memory_full();
+        // MHPE's trace must be empty: no intervals counted pre-full.
+        for i in 8..12 {
+            e.note_evicted(ChunkId(i - 8), TouchVec::full(), 16);
+            e.note_migrated(ChunkId(i), 16, true);
+        }
+        // One interval since full.
+        let st = e.stats;
+        assert_eq!(st.chunk_evictions, 4);
+        assert_eq!(e.interval(), 3);
+    }
+
+    #[test]
+    fn eviction_stats_and_chain_update() {
+        let mut e = baseline();
+        e.note_migrated(ChunkId(0), 16, true);
+        e.note_migrated(ChunkId(1), 16, true);
+        assert_eq!(e.chain().len(), 2);
+        let mut touch = TouchVec::empty();
+        touch.set(0);
+        touch.set(1);
+        e.note_evicted(ChunkId(0), touch, 16);
+        assert_eq!(e.chain().len(), 1);
+        assert_eq!(e.stats.pages_evicted, 16);
+        assert_eq!(e.stats.total_untouch, 14);
+    }
+
+    #[test]
+    fn untouch_respects_partial_residency() {
+        let mut e = baseline();
+        e.note_migrated(ChunkId(0), 8, true);
+        let mut touch = TouchVec::empty();
+        touch.set(0);
+        // Only 8 pages were resident; 1 touched → untouch = 7.
+        e.note_evicted(ChunkId(0), touch, 8);
+        assert_eq!(e.stats.total_untouch, 7);
+    }
+
+    #[test]
+    fn prefetched_page_accounting() {
+        let mut e = baseline();
+        e.note_migrated(ChunkId(0), 16, true); // 1 faulted + 15 prefetched
+        e.note_migrated(ChunkId(1), 4, false); // all 4 prefetched
+        assert_eq!(e.stats.pages_migrated, 20);
+        assert_eq!(e.stats.pages_prefetched, 19);
+    }
+
+    #[test]
+    fn victim_selection_roundtrip() {
+        let mut e = baseline();
+        for i in 0..4 {
+            e.note_migrated(ChunkId(i), 16, true);
+        }
+        e.note_memory_full();
+        assert_eq!(e.select_victim(&FxHashSet::default()), Some(ChunkId(0)));
+        e.note_evicted(ChunkId(0), TouchVec::full(), 16);
+        assert_eq!(e.select_victim(&FxHashSet::default()), Some(ChunkId(1)));
+    }
+
+    #[test]
+    fn memory_full_latches_chain_len() {
+        let mut e = baseline();
+        for i in 0..5 {
+            e.note_migrated(ChunkId(i), 16, true);
+        }
+        e.note_memory_full();
+        assert_eq!(e.chain_len_at_full, 5);
+        e.note_migrated(ChunkId(9), 16, true);
+        e.note_memory_full(); // second call must not overwrite
+        assert_eq!(e.chain_len_at_full, 5);
+    }
+
+    #[test]
+    fn overhead_snapshot_math() {
+        let s = OverheadSnapshot {
+            chain_len_at_full: 100,
+            chain_max_len: 120,
+            evicted_buffer_max: 16,
+            pattern_buffer_max: 10,
+        };
+        assert_eq!(s.total_entries(), 146);
+        assert_eq!(s.storage_bytes(), 146 * 12);
+    }
+
+    #[test]
+    fn wrong_eviction_reinserts_at_chain_head() {
+        let mut e = PolicyEngine::new(
+            Box::new(MhpePolicy::new()),
+            Box::new(SequentialLocalPrefetcher::naive()),
+        );
+        for i in 0..6 {
+            e.note_migrated(ChunkId(i), 16, true);
+        }
+        e.note_memory_full();
+        e.note_evicted(ChunkId(2), TouchVec::full(), 16);
+        // Fault on the just-evicted chunk: wrong eviction detected.
+        e.note_fault(ChunkId(2).page(0));
+        assert_eq!(e.wrong_evictions(), 1);
+        e.note_migrated(ChunkId(2), 16, true);
+        // The chunk must sit at the LRU end (head) of the chain.
+        assert_eq!(e.chain().iter_lru().next(), Some(ChunkId(2)));
+    }
+
+    #[test]
+    fn coordination_pattern_flows_to_prefetcher() {
+        // The CPPE loop: evict with a stride pattern → prefetcher records
+        // it → next fault on a matching page prefetches only the pattern.
+        use crate::prefetch::pattern::PatternAwarePrefetcher;
+        let mut e = PolicyEngine::new(
+            Box::new(MhpePolicy::new()),
+            Box::new(PatternAwarePrefetcher::new()),
+        );
+        let mut touch = TouchVec::empty();
+        for i in (0..16).step_by(2) {
+            touch.set(i);
+        }
+        e.note_migrated(ChunkId(0), 16, true);
+        e.note_memory_full();
+        e.note_evicted(ChunkId(0), touch, 16);
+        let pt = PageTable::new();
+        let plan = e.plan_prefetch(ChunkId(0).page(2), &pt);
+        assert_eq!(plan.len(), 8, "only the stride-2 pattern pages");
+    }
+}

@@ -1,0 +1,114 @@
+//! Page prefetchers.
+//!
+//! On every far fault the driver asks the prefetcher which pages to
+//! migrate along with the faulted page. Implementations:
+//!
+//! | Prefetcher | Paper role |
+//! |---|---|
+//! | [`NonePrefetcher`] | prefetching disabled (HPE's original setting) |
+//! | [`SequentialLocalPrefetcher`](sequential::SequentialLocalPrefetcher) | Zheng et al.'s locality prefetcher: the rest of the faulted 64 KB chunk; optionally disabled once memory is full (Fig. 4 / Fig. 10) |
+//! | [`TreeNeighborhoodPrefetcher`](tree::TreeNeighborhoodPrefetcher) | the CUDA-driver-style tree prefetcher Ganguly et al. reverse-engineered (extension/ablation) |
+//! | [`PatternAwarePrefetcher`](pattern::PatternAwarePrefetcher) | CPPE's access pattern-aware prefetcher (§IV-C) |
+
+pub mod pattern;
+pub mod sequential;
+pub mod tree;
+
+use gmmu::page_table::PageTable;
+use gmmu::types::{ChunkId, VirtPage};
+use sim_core::TouchVec;
+
+/// Context a prefetcher may consult when planning a migration.
+pub struct PrefetchCtx<'a> {
+    /// Residency oracle (the GPU page table).
+    pub page_table: &'a PageTable,
+    /// True once GPU memory has filled to capacity — several strategies
+    /// change behaviour at this point.
+    pub memory_full: bool,
+}
+
+/// A page prefetcher.
+pub trait Prefetcher: Send {
+    /// Short stable identifier for reports.
+    fn name(&self) -> &'static str;
+
+    /// Plan the migration for a fault on `fault`: return the pages to
+    /// bring in. Must include `fault` itself and must only contain
+    /// non-resident pages.
+    fn plan(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>) -> Vec<VirtPage>;
+
+    /// A chunk was evicted with the given touch pattern (pattern-aware
+    /// prefetching records patterns here).
+    fn on_evict(&mut self, chunk: ChunkId, touch: TouchVec) {
+        let _ = (chunk, touch);
+    }
+
+    /// Current pattern-buffer length (0 for bufferless prefetchers) —
+    /// reported by the §VI-C overhead analysis.
+    fn pattern_buffer_len(&self) -> usize {
+        0
+    }
+
+    /// Pattern-buffer high-water mark.
+    fn pattern_buffer_max_len(&self) -> usize {
+        0
+    }
+}
+
+/// Prefetching disabled: migrate only the faulted page.
+#[derive(Debug, Default)]
+pub struct NonePrefetcher;
+
+impl NonePrefetcher {
+    /// New no-op prefetcher.
+    #[must_use]
+    pub fn new() -> Self {
+        NonePrefetcher
+    }
+}
+
+impl Prefetcher for NonePrefetcher {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn plan(&mut self, fault: VirtPage, _ctx: &PrefetchCtx<'_>) -> Vec<VirtPage> {
+        vec![fault]
+    }
+}
+
+/// Helper shared by chunk-granularity strategies: every non-resident
+/// page of `chunk`, in address order.
+#[must_use]
+pub fn non_resident_pages(chunk: ChunkId, pt: &PageTable) -> Vec<VirtPage> {
+    chunk.pages().filter(|&p| !pt.is_resident(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmmu::types::Frame;
+
+    #[test]
+    fn none_prefetcher_returns_only_fault() {
+        let pt = PageTable::new();
+        let ctx = PrefetchCtx {
+            page_table: &pt,
+            memory_full: true,
+        };
+        let mut p = NonePrefetcher::new();
+        assert_eq!(p.plan(VirtPage(37), &ctx), vec![VirtPage(37)]);
+    }
+
+    #[test]
+    fn non_resident_pages_filters() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(0), Frame(0), true);
+        pt.map(VirtPage(5), Frame(1), true);
+        let pages = non_resident_pages(ChunkId(0), &pt);
+        assert_eq!(pages.len(), 14);
+        assert!(!pages.contains(&VirtPage(0)));
+        assert!(!pages.contains(&VirtPage(5)));
+        assert!(pages.contains(&VirtPage(1)));
+    }
+}

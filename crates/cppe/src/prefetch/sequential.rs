@@ -1,0 +1,117 @@
+//! Sequential-local (locality) prefetcher — Zheng et al., HPCA'16.
+//!
+//! On a fault, migrate the remainder of the faulted page's 64 KB chunk
+//! ("prefetches a chunk (16 pages) each time, same as prefetching the
+//! 64KB basic block"). Two variants:
+//!
+//! * **naïve** (`disable_when_full = false`) — keeps whole-chunk
+//!   prefetching even under oversubscription. Combined with LRU this is
+//!   the paper's *baseline*, and the behaviour that makes *MVT*/*BIC*
+//!   thrash to death (Fig. 4).
+//! * **disable-on-full** (`disable_when_full = true`) — Li et al.'s
+//!   mitigation: stop prefetching once memory is exhausted, migrating
+//!   only single faulted pages. Helps severe thrashers, slows everything
+//!   else by up to ~85 % (Fig. 10).
+
+use super::{non_resident_pages, PrefetchCtx, Prefetcher};
+use gmmu::types::VirtPage;
+
+/// The locality prefetcher.
+#[derive(Debug)]
+pub struct SequentialLocalPrefetcher {
+    disable_when_full: bool,
+}
+
+impl SequentialLocalPrefetcher {
+    /// Naïve variant: always prefetch the whole chunk (baseline).
+    #[must_use]
+    pub fn naive() -> Self {
+        SequentialLocalPrefetcher {
+            disable_when_full: false,
+        }
+    }
+
+    /// Variant that turns prefetching off once GPU memory is full.
+    #[must_use]
+    pub fn disable_on_full() -> Self {
+        SequentialLocalPrefetcher {
+            disable_when_full: true,
+        }
+    }
+}
+
+impl Prefetcher for SequentialLocalPrefetcher {
+    fn name(&self) -> &'static str {
+        if self.disable_when_full {
+            "seq-local-nopf-on-full"
+        } else {
+            "seq-local"
+        }
+    }
+
+    fn plan(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>) -> Vec<VirtPage> {
+        if self.disable_when_full && ctx.memory_full {
+            return vec![fault];
+        }
+        non_resident_pages(fault.chunk(), ctx.page_table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmmu::page_table::PageTable;
+    use gmmu::types::Frame;
+
+    fn ctx(pt: &PageTable, full: bool) -> PrefetchCtx<'_> {
+        PrefetchCtx {
+            page_table: pt,
+            memory_full: full,
+        }
+    }
+
+    #[test]
+    fn naive_prefetches_whole_chunk() {
+        let pt = PageTable::new();
+        let mut p = SequentialLocalPrefetcher::naive();
+        let plan = p.plan(VirtPage(20), &ctx(&pt, false));
+        assert_eq!(plan.len(), 16);
+        assert!(plan.contains(&VirtPage(20)));
+        assert_eq!(plan[0], VirtPage(16), "address order within chunk");
+    }
+
+    #[test]
+    fn naive_keeps_prefetching_when_full() {
+        let pt = PageTable::new();
+        let mut p = SequentialLocalPrefetcher::naive();
+        assert_eq!(p.plan(VirtPage(20), &ctx(&pt, true)).len(), 16);
+    }
+
+    #[test]
+    fn skips_resident_pages() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(16), Frame(0), true);
+        pt.map(VirtPage(17), Frame(1), false);
+        let mut p = SequentialLocalPrefetcher::naive();
+        let plan = p.plan(VirtPage(20), &ctx(&pt, false));
+        assert_eq!(plan.len(), 14);
+        assert!(!plan.contains(&VirtPage(16)));
+    }
+
+    #[test]
+    fn disable_on_full_degrades_to_single_page() {
+        let pt = PageTable::new();
+        let mut p = SequentialLocalPrefetcher::disable_on_full();
+        assert_eq!(p.plan(VirtPage(20), &ctx(&pt, false)).len(), 16);
+        assert_eq!(p.plan(VirtPage(20), &ctx(&pt, true)), vec![VirtPage(20)]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SequentialLocalPrefetcher::naive().name(), "seq-local");
+        assert_eq!(
+            SequentialLocalPrefetcher::disable_on_full().name(),
+            "seq-local-nopf-on-full"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Tree-based neighbourhood prefetcher (Ganguly et al., ISCA'19).
+//!
+//! Ganguly et al. reverse-engineered the NVIDIA CUDA driver's prefetcher
+//! with micro-benchmarks: within each 2 MB large-page region, the driver
+//! maintains a binary tree over 64 KB basic blocks. A fault migrates the
+//! faulted 64 KB block; then, walking up the tree, if the *populated
+//! fraction* of a node's 2× larger parent would exceed 50 % after the
+//! migration, the rest of that parent is prefetched too.
+//!
+//! The paper uses the sequential-local prefetcher as its baseline, so
+//! this implementation serves as an extension/ablation target (the
+//! `bench` crate compares it against seq-local and pattern-aware).
+
+use super::{non_resident_pages, PrefetchCtx, Prefetcher};
+use gmmu::page_table::PageTable;
+use gmmu::types::{VirtPage, PAGES_PER_CHUNK};
+
+/// Pages per 2 MB root block (512 × 4 KB).
+const ROOT_PAGES: u64 = 512;
+
+/// The tree-neighbourhood prefetcher.
+#[derive(Debug, Default)]
+pub struct TreeNeighborhoodPrefetcher;
+
+impl TreeNeighborhoodPrefetcher {
+    /// New prefetcher.
+    #[must_use]
+    pub fn new() -> Self {
+        TreeNeighborhoodPrefetcher
+    }
+
+    /// Count resident-or-planned pages in `[start, start+len)`.
+    fn populated(start: u64, len: u64, pt: &PageTable, planned: &[VirtPage]) -> u64 {
+        (start..start + len)
+            .filter(|&p| pt.is_resident(VirtPage(p)) || planned.contains(&VirtPage(p)))
+            .count() as u64
+    }
+}
+
+impl Prefetcher for TreeNeighborhoodPrefetcher {
+    fn name(&self) -> &'static str {
+        "tree-neighborhood"
+    }
+
+    fn plan(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>) -> Vec<VirtPage> {
+        let pt = ctx.page_table;
+        // Level 0: the faulted 64 KB basic block.
+        let mut plan = non_resident_pages(fault.chunk(), pt);
+        // Walk up: 128 KB, 256 KB, ..., 2 MB nodes containing the fault.
+        let mut node_pages = PAGES_PER_CHUNK;
+        while node_pages < ROOT_PAGES {
+            node_pages *= 2;
+            let start = (fault.0 / node_pages) * node_pages;
+            let populated = Self::populated(start, node_pages, pt, &plan);
+            if populated * 2 > node_pages {
+                for p in start..start + node_pages {
+                    let vp = VirtPage(p);
+                    if !pt.is_resident(vp) && !plan.contains(&vp) {
+                        plan.push(vp);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        plan.sort_unstable_by_key(|p| p.0);
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmmu::types::{ChunkId, Frame};
+
+    fn ctx(pt: &PageTable) -> PrefetchCtx<'_> {
+        PrefetchCtx {
+            page_table: pt,
+            memory_full: false,
+        }
+    }
+
+    fn map_chunk(pt: &mut PageTable, chunk: u64) {
+        for p in ChunkId(chunk).pages() {
+            pt.map(p, Frame(p.0 as u32), false);
+        }
+    }
+
+    #[test]
+    fn cold_fault_migrates_one_chunk() {
+        let pt = PageTable::new();
+        let mut p = TreeNeighborhoodPrefetcher::new();
+        // Nothing resident → 16/32 = 50 % at the 128 KB level, not >50 %.
+        assert_eq!(p.plan(VirtPage(0), &ctx(&pt)).len(), 16);
+    }
+
+    #[test]
+    fn buddy_present_pulls_parent() {
+        let mut pt = PageTable::new();
+        map_chunk(&mut pt, 1); // buddy of chunk 0 within the 128 KB node
+        let mut p = TreeNeighborhoodPrefetcher::new();
+        let plan = p.plan(VirtPage(0), &ctx(&pt));
+        // 128 KB node: 16 resident + 16 planned = 32/32 > 50 % → parent
+        // (256 KB) check: 32/64 = 50 %, stop. Plan = chunk 0 only (chunk 1
+        // already resident).
+        assert_eq!(plan.len(), 16);
+        // Now make the 256 KB node majority-populated: chunks 1, 2, 3.
+        map_chunk(&mut pt, 2);
+        map_chunk(&mut pt, 3);
+        let mut p = TreeNeighborhoodPrefetcher::new();
+        let plan = p.plan(VirtPage(0), &ctx(&pt));
+        // 48 resident + 16 planned = 64/64 at 256 KB → escalate to 512 KB:
+        // 64/128 = 50 % → stop. Chunks 0 plus nothing new (1-3 resident).
+        assert_eq!(plan.len(), 16);
+    }
+
+    #[test]
+    fn majority_populated_parent_prefetches_rest() {
+        let mut pt = PageTable::new();
+        // Populate chunks 1 and 2 fully and chunk 3 partially: at the
+        // 256 KB level (chunks 0-3), resident = 16+16+8 = 40, plan adds
+        // 16 → 56/64 > 50 % → the rest of the 256 KB node is prefetched.
+        map_chunk(&mut pt, 1);
+        map_chunk(&mut pt, 2);
+        for p in ChunkId(3).pages().take(8) {
+            pt.map(p, Frame(p.0 as u32), false);
+        }
+        let mut p = TreeNeighborhoodPrefetcher::new();
+        let plan = p.plan(VirtPage(0), &ctx(&pt));
+        // chunk 0 (16) + remaining half of chunk 3 (8) = 24, then the
+        // 512 KB level: 64/128 = 50 % → stop.
+        assert_eq!(plan.len(), 24);
+    }
+
+    #[test]
+    fn plan_is_sorted_and_non_resident() {
+        let mut pt = PageTable::new();
+        map_chunk(&mut pt, 1);
+        pt.map(VirtPage(5), Frame(5), false);
+        let mut p = TreeNeighborhoodPrefetcher::new();
+        let plan = p.plan(VirtPage(0), &ctx(&pt));
+        let mut sorted = plan.clone();
+        sorted.sort_unstable_by_key(|x| x.0);
+        assert_eq!(plan, sorted);
+        assert!(plan.iter().all(|&pg| !pt.is_resident(pg)));
+        assert!(plan.contains(&VirtPage(0)));
+    }
+
+    #[test]
+    fn never_crosses_2mb_root() {
+        let mut pt = PageTable::new();
+        // Populate pages 0..511 except the last chunk.
+        for p in 0..(ROOT_PAGES - 16) {
+            pt.map(VirtPage(p), Frame(p as u32), false);
+        }
+        let mut p = TreeNeighborhoodPrefetcher::new();
+        let plan = p.plan(VirtPage(ROOT_PAGES - 16), &ctx(&pt));
+        assert!(plan.iter().all(|pg| pg.0 < ROOT_PAGES));
+        assert_eq!(plan.len(), 16);
+    }
+}

@@ -1,0 +1,202 @@
+//! The 4-level radix page table.
+//!
+//! The walker traverses four levels (Table I: "traversing 4-level page
+//! table", x86-64-style 9-bit radix per level). The table serves two
+//! roles in the simulator:
+//!
+//! 1. **Residency store** — the authoritative map from [`VirtPage`] to
+//!    GPU [`Frame`] (or *not resident*, which triggers a far fault).
+//! 2. **Walk topology** — which intermediate nodes exist, so the walker
+//!    and the page-walk cache can be exercised with realistic locality
+//!    (two pages sharing an L3 node share its cached entry).
+
+use crate::types::{Frame, VirtPage};
+use sim_core::FxHashMap;
+
+/// Levels of the radix tree (root = level 4, leaf PTE = level 1).
+pub const LEVELS: u32 = 4;
+/// Radix bits per level.
+pub const BITS_PER_LEVEL: u32 = 9;
+
+/// Residency state of one virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Never migrated, or currently evicted to host memory.
+    NotResident,
+    /// Present in GPU memory at the given frame.
+    Resident(Frame),
+}
+
+/// Identifier of an intermediate page-table node: `(level, index prefix)`.
+///
+/// The prefix is the VPN shifted so that two pages mapped by the same
+/// node at that level produce the same `NodeId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId {
+    /// 4 = root's children ... 2 = the node holding leaf PTE pointers.
+    pub level: u32,
+    /// VPN >> (9 * (level - 1)).
+    pub prefix: u64,
+}
+
+/// Node id covering `page` at `level` (level in 2..=4; level 1 is the PTE
+/// itself and is never cached by the page-walk cache).
+#[must_use]
+pub fn node_for(page: VirtPage, level: u32) -> NodeId {
+    debug_assert!((2..=LEVELS).contains(&level));
+    NodeId {
+        level,
+        prefix: page.0 >> (BITS_PER_LEVEL * (level - 1)),
+    }
+}
+
+/// The page table: residency map plus touch bits.
+///
+/// Touch bits model the hardware *access* bits the driver reads from the
+/// GPU page table when it processes an eviction — the mechanism MHPE
+/// relies on to compute untouch levels without extra GPU→CPU interrupts
+/// (see DESIGN.md substitution table).
+#[derive(Debug, Default)]
+pub struct PageTable {
+    entries: FxHashMap<VirtPage, Entry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    frame: Frame,
+    touched: bool,
+}
+
+impl PageTable {
+    /// Empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Residency of `page`.
+    #[must_use]
+    pub fn residency(&self, page: VirtPage) -> Residency {
+        match self.entries.get(&page) {
+            Some(e) => Residency::Resident(e.frame),
+            None => Residency::NotResident,
+        }
+    }
+
+    /// True if `page` is resident.
+    #[must_use]
+    pub fn is_resident(&self, page: VirtPage) -> bool {
+        self.entries.contains_key(&page)
+    }
+
+    /// Map `page` to `frame`. `touched` distinguishes demand-faulted
+    /// pages (true) from prefetched pages (false) — the faulted page of
+    /// a chunk is touched by definition, its prefetched neighbours are
+    /// not until an SM actually accesses them.
+    ///
+    /// # Panics
+    /// Panics if `page` is already mapped: the driver must evict before
+    /// re-mapping, and double-mapping is always a bug.
+    pub fn map(&mut self, page: VirtPage, frame: Frame, touched: bool) {
+        let prev = self.entries.insert(page, Entry { frame, touched });
+        assert!(prev.is_none(), "page {page:?} double-mapped");
+    }
+
+    /// Unmap `page`, returning its frame and touch bit.
+    ///
+    /// # Panics
+    /// Panics if `page` was not mapped.
+    pub fn unmap(&mut self, page: VirtPage) -> (Frame, bool) {
+        let e = self
+            .entries
+            .remove(&page)
+            .unwrap_or_else(|| panic!("page {page:?} unmapped but not mapped"));
+        (e.frame, e.touched)
+    }
+
+    /// Set the access bit of a resident page (called on every SM access).
+    /// No-op if the page is not resident (the access is about to fault).
+    pub fn mark_touched(&mut self, page: VirtPage) {
+        if let Some(e) = self.entries.get_mut(&page) {
+            e.touched = true;
+        }
+    }
+
+    /// Read the access bit of a resident page.
+    #[must_use]
+    pub fn is_touched(&self, page: VirtPage) -> bool {
+        self.entries.get(&page).is_some_and(|e| e.touched)
+    }
+
+    /// Number of resident pages.
+    #[must_use]
+    pub fn resident_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_unmap_roundtrip() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.residency(VirtPage(5)), Residency::NotResident);
+        pt.map(VirtPage(5), Frame(2), true);
+        assert_eq!(pt.residency(VirtPage(5)), Residency::Resident(Frame(2)));
+        assert!(pt.is_resident(VirtPage(5)));
+        let (f, touched) = pt.unmap(VirtPage(5));
+        assert_eq!(f, Frame(2));
+        assert!(touched);
+        assert!(!pt.is_resident(VirtPage(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "double-mapped")]
+    fn double_map_panics() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(1), Frame(0), false);
+        pt.map(VirtPage(1), Frame(1), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "not mapped")]
+    fn unmap_missing_panics() {
+        PageTable::new().unmap(VirtPage(1));
+    }
+
+    #[test]
+    fn touch_bits() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(1), Frame(0), false);
+        assert!(!pt.is_touched(VirtPage(1)));
+        pt.mark_touched(VirtPage(1));
+        assert!(pt.is_touched(VirtPage(1)));
+        // Touching a non-resident page is a harmless no-op.
+        pt.mark_touched(VirtPage(99));
+        assert!(!pt.is_touched(VirtPage(99)));
+    }
+
+    #[test]
+    fn resident_count_tracks() {
+        let mut pt = PageTable::new();
+        for i in 0..10 {
+            pt.map(VirtPage(i), Frame(i as u32), false);
+        }
+        assert_eq!(pt.resident_count(), 10);
+        pt.unmap(VirtPage(3));
+        assert_eq!(pt.resident_count(), 9);
+    }
+
+    #[test]
+    fn node_sharing_within_level() {
+        // Pages 0 and 1 share every upper-level node.
+        for level in 2..=LEVELS {
+            assert_eq!(node_for(VirtPage(0), level), node_for(VirtPage(1), level));
+        }
+        // Pages 0 and 512 differ at level 2 (512 = 2^9) but share level 3+.
+        assert_ne!(node_for(VirtPage(0), 2), node_for(VirtPage(512), 2));
+        assert_eq!(node_for(VirtPage(0), 3), node_for(VirtPage(512), 3));
+    }
+}

@@ -1,0 +1,299 @@
+//! Set-associative, LRU-replacement TLB.
+//!
+//! One structure serves both levels of the paper's hierarchy:
+//! * per-SM private L1 TLB — 128 entries, 1-cycle hit latency,
+//! * shared L2 TLB — 512 entries, 16-way, 10-cycle hit latency.
+//!
+//! Entries map a [`VirtPage`] to its [`Frame`]. Evicting a page from GPU
+//! memory must shoot the translation down from every TLB, which the
+//! `uvm` driver does through [`Tlb::invalidate`].
+
+use crate::types::{Frame, VirtPage};
+use sim_core::stats::Counter;
+
+/// TLB geometry and timing.
+#[derive(Debug, Clone, Copy)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Ways per set (`entries` for fully associative).
+    pub associativity: usize,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl TlbConfig {
+    /// Table I per-SM L1 TLB: 128 entries, single port, 1-cycle, LRU.
+    /// Associativity is unspecified in the paper; we model it fully
+    /// associative, which is common for small first-level TLBs.
+    #[must_use]
+    pub fn l1_default() -> Self {
+        TlbConfig {
+            entries: 128,
+            associativity: 128,
+            hit_latency: 1,
+        }
+    }
+
+    /// Table I shared L2 TLB: 512 entries, 16-way, 10-cycle, LRU.
+    #[must_use]
+    pub fn l2_default() -> Self {
+        TlbConfig {
+            entries: 512,
+            associativity: 16,
+            hit_latency: 10,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    page: VirtPage,
+    frame: Frame,
+    /// Monotone use stamp for LRU (larger = more recent).
+    stamp: u64,
+}
+
+/// A set-associative TLB with true-LRU replacement.
+#[derive(Debug)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    sets: Vec<Vec<Way>>,
+    n_sets: usize,
+    tick: u64,
+    /// Lookup hits.
+    pub hits: Counter,
+    /// Lookup misses.
+    pub misses: Counter,
+}
+
+impl Tlb {
+    /// Build a TLB from `cfg`.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (zero entries, or entries not
+    /// divisible by associativity).
+    #[must_use]
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.entries > 0 && cfg.associativity > 0);
+        assert!(
+            cfg.entries.is_multiple_of(cfg.associativity),
+            "entries {} not divisible by associativity {}",
+            cfg.entries,
+            cfg.associativity
+        );
+        let n_sets = cfg.entries / cfg.associativity;
+        Tlb {
+            cfg,
+            sets: (0..n_sets).map(|_| Vec::with_capacity(cfg.associativity)).collect(),
+            n_sets,
+            tick: 0,
+            hits: Counter::default(),
+            misses: Counter::default(),
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, page: VirtPage) -> usize {
+        (page.0 % self.n_sets as u64) as usize
+    }
+
+    /// Look up `page`, updating LRU state and hit/miss counters.
+    /// Returns the cached frame on a hit.
+    pub fn lookup(&mut self, page: VirtPage) -> Option<Frame> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(page);
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.page == page) {
+            way.stamp = tick;
+            self.hits.inc();
+            Some(way.frame)
+        } else {
+            self.misses.inc();
+            None
+        }
+    }
+
+    /// Peek without touching LRU state or counters (used by tests and
+    /// by coherence assertions in the `gpu` crate).
+    #[must_use]
+    pub fn probe(&self, page: VirtPage) -> Option<Frame> {
+        let set = self.set_index(page);
+        self.sets[set].iter().find(|w| w.page == page).map(|w| w.frame)
+    }
+
+    /// Install (or refresh) a translation, evicting the set's LRU way if
+    /// the set is full. Returns the victim translation, if any.
+    pub fn insert(&mut self, page: VirtPage, frame: Frame) -> Option<(VirtPage, Frame)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(page);
+        let assoc = self.cfg.associativity;
+        let ways = &mut self.sets[set];
+        if let Some(way) = ways.iter_mut().find(|w| w.page == page) {
+            way.frame = frame;
+            way.stamp = tick;
+            return None;
+        }
+        let mut victim = None;
+        if ways.len() == assoc {
+            let lru = ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .expect("full set has ways");
+            let w = ways.swap_remove(lru);
+            victim = Some((w.page, w.frame));
+        }
+        ways.push(Way { page, frame, stamp: tick });
+        victim
+    }
+
+    /// Shoot down the translation for `page`. Returns true if present.
+    pub fn invalidate(&mut self, page: VirtPage) -> bool {
+        let set = self.set_index(page);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|w| w.page == page) {
+            ways.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop every translation.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Hit latency from the config.
+    #[must_use]
+    pub fn hit_latency(&self) -> u64 {
+        self.cfg.hit_latency
+    }
+
+    /// Number of currently valid entries.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        // 4 entries, 2-way → 2 sets.
+        Tlb::new(TlbConfig {
+            entries: 4,
+            associativity: 2,
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = tiny();
+        assert_eq!(t.lookup(VirtPage(0)), None);
+        t.insert(VirtPage(0), Frame(9));
+        assert_eq!(t.lookup(VirtPage(0)), Some(Frame(9)));
+        assert_eq!(t.hits.get(), 1);
+        assert_eq!(t.misses.get(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut t = tiny();
+        // Pages 0, 2, 4 all map to set 0 (page % 2 == 0).
+        t.insert(VirtPage(0), Frame(0));
+        t.insert(VirtPage(2), Frame(2));
+        t.lookup(VirtPage(0)); // make page 2 the LRU way
+        let victim = t.insert(VirtPage(4), Frame(4));
+        assert_eq!(victim, Some((VirtPage(2), Frame(2))));
+        assert!(t.probe(VirtPage(0)).is_some());
+        assert!(t.probe(VirtPage(2)).is_none());
+        assert!(t.probe(VirtPage(4)).is_some());
+    }
+
+    #[test]
+    fn insert_refresh_does_not_evict() {
+        let mut t = tiny();
+        t.insert(VirtPage(0), Frame(0));
+        t.insert(VirtPage(2), Frame(2));
+        assert_eq!(t.insert(VirtPage(0), Frame(7)), None);
+        assert_eq!(t.probe(VirtPage(0)), Some(Frame(7)));
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut t = tiny();
+        t.insert(VirtPage(5), Frame(1));
+        assert!(t.invalidate(VirtPage(5)));
+        assert!(!t.invalidate(VirtPage(5)));
+        assert_eq!(t.lookup(VirtPage(5)), None);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut t = tiny();
+        for i in 0..4 {
+            t.insert(VirtPage(i), Frame(i as u32));
+        }
+        assert_eq!(t.occupancy(), 4);
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut t = tiny();
+        // Fill set 0 beyond capacity; set 1 entries must survive.
+        t.insert(VirtPage(1), Frame(100)); // set 1
+        for i in 0..10u64 {
+            t.insert(VirtPage(i * 2), Frame(i as u32)); // set 0
+        }
+        assert_eq!(t.probe(VirtPage(1)), Some(Frame(100)));
+    }
+
+    #[test]
+    fn probe_does_not_count() {
+        let mut t = tiny();
+        t.insert(VirtPage(0), Frame(0));
+        let _ = t.probe(VirtPage(0));
+        let _ = t.probe(VirtPage(1));
+        assert_eq!(t.hits.get(), 0);
+        assert_eq!(t.misses.get(), 0);
+    }
+
+    #[test]
+    fn default_geometries_construct() {
+        let l1 = Tlb::new(TlbConfig::l1_default());
+        let l2 = Tlb::new(TlbConfig::l2_default());
+        assert_eq!(l1.hit_latency(), 1);
+        assert_eq!(l2.hit_latency(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_geometry_panics() {
+        let _ = Tlb::new(TlbConfig {
+            entries: 10,
+            associativity: 3,
+            hit_latency: 1,
+        });
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut t = tiny();
+        for i in 0..100u64 {
+            t.insert(VirtPage(i), Frame(i as u32));
+        }
+        assert!(t.occupancy() <= 4);
+    }
+}

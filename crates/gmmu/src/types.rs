@@ -1,0 +1,169 @@
+//! Address-space primitives shared by the whole workspace.
+//!
+//! The paper uses 4 KB OS pages ("A default OS page size of 4KB was
+//! adopted") grouped into 16-page, 64 KB *chunks* — the granularity at
+//! which the locality prefetcher migrates and the pre-eviction policy
+//! evicts ("prefetching the 64KB basic block").
+
+/// OS page size in bytes (paper §V).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Pages per chunk (paper §IV-B: "the chunk size is 16").
+pub const PAGES_PER_CHUNK: u64 = 16;
+
+/// Bytes per chunk (64 KB).
+pub const CHUNK_BYTES: u64 = PAGE_SIZE * PAGES_PER_CHUNK;
+
+/// A virtual byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The virtual page containing this address.
+    #[inline]
+    #[must_use]
+    pub fn page(self) -> VirtPage {
+        VirtPage(self.0 / PAGE_SIZE)
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    #[must_use]
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+}
+
+/// A virtual page number (address / 4 KB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtPage(pub u64);
+
+impl VirtPage {
+    /// The chunk this page belongs to.
+    #[inline]
+    #[must_use]
+    pub fn chunk(self) -> ChunkId {
+        ChunkId(self.0 / PAGES_PER_CHUNK)
+    }
+
+    /// Index of this page within its chunk (0..16).
+    #[inline]
+    #[must_use]
+    pub fn index_in_chunk(self) -> usize {
+        (self.0 % PAGES_PER_CHUNK) as usize
+    }
+
+    /// First byte address of the page.
+    #[inline]
+    #[must_use]
+    pub fn base_addr(self) -> VirtAddr {
+        VirtAddr(self.0 * PAGE_SIZE)
+    }
+}
+
+/// A chunk number (16 naturally aligned contiguous virtual pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChunkId(pub u64);
+
+impl ChunkId {
+    /// First page of the chunk.
+    #[inline]
+    #[must_use]
+    pub fn first_page(self) -> VirtPage {
+        VirtPage(self.0 * PAGES_PER_CHUNK)
+    }
+
+    /// Iterate the 16 pages of the chunk in address order — the order in
+    /// which HPE/MHPE evict pages of a selected chunk ("the virtual pages
+    /// in the chunk are selected in address order").
+    pub fn pages(self) -> impl Iterator<Item = VirtPage> {
+        let base = self.0 * PAGES_PER_CHUNK;
+        (0..PAGES_PER_CHUNK).map(move |i| VirtPage(base + i))
+    }
+
+    /// The page at position `i` within the chunk.
+    ///
+    /// # Panics
+    /// Panics if `i >= 16`.
+    #[inline]
+    #[must_use]
+    pub fn page(self, i: usize) -> VirtPage {
+        assert!((i as u64) < PAGES_PER_CHUNK, "page index {i} out of chunk");
+        VirtPage(self.0 * PAGES_PER_CHUNK + i as u64)
+    }
+}
+
+/// A physical GPU frame number (4 KB granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Frame(pub u32);
+
+/// Identifier for a streaming multiprocessor (0..28 by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SmId(pub u16);
+
+impl SmId {
+    /// Index usable for per-SM arrays.
+    #[inline]
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_to_page() {
+        assert_eq!(VirtAddr(0).page(), VirtPage(0));
+        assert_eq!(VirtAddr(4095).page(), VirtPage(0));
+        assert_eq!(VirtAddr(4096).page(), VirtPage(1));
+        assert_eq!(VirtAddr(4097).page_offset(), 1);
+    }
+
+    #[test]
+    fn page_to_chunk() {
+        assert_eq!(VirtPage(0).chunk(), ChunkId(0));
+        assert_eq!(VirtPage(15).chunk(), ChunkId(0));
+        assert_eq!(VirtPage(16).chunk(), ChunkId(1));
+        assert_eq!(VirtPage(35).index_in_chunk(), 3);
+    }
+
+    #[test]
+    fn chunk_pages_are_contiguous() {
+        let pages: Vec<_> = ChunkId(2).pages().collect();
+        assert_eq!(pages.len(), 16);
+        assert_eq!(pages[0], VirtPage(32));
+        assert_eq!(pages[15], VirtPage(47));
+        for p in &pages {
+            assert_eq!(p.chunk(), ChunkId(2));
+        }
+    }
+
+    #[test]
+    fn chunk_page_indexing_roundtrip() {
+        let c = ChunkId(7);
+        for i in 0..16 {
+            let p = c.page(i);
+            assert_eq!(p.index_in_chunk(), i);
+            assert_eq!(p.chunk(), c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of chunk")]
+    fn chunk_page_oob() {
+        let _ = ChunkId(0).page(16);
+    }
+
+    #[test]
+    fn page_base_addr() {
+        assert_eq!(VirtPage(3).base_addr(), VirtAddr(3 * 4096));
+    }
+
+    #[test]
+    fn chunk_is_64kb() {
+        assert_eq!(CHUNK_BYTES, 65536);
+    }
+}

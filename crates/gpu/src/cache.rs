@@ -1,0 +1,188 @@
+//! GPU data-cache latency model.
+//!
+//! The simulator issues page-granular accesses, so the data caches are
+//! modelled as *page-presence* caches that determine the latency of the
+//! data access that follows a successful translation:
+//!
+//! * per-SM L1 (Table I: 48 KB → 12 pages) — hit: 4 cycles,
+//! * shared L2 (Table I: 3 MB → 768 pages) — hit: 30 cycles,
+//! * GDDR5 miss — 200 cycles.
+//!
+//! This is intentionally coarse (the policies under study never see
+//! cache state), but it makes compute-side latency locality-dependent
+//! instead of constant, and evicted pages are invalidated so stale
+//! residency never shortens a post-eviction re-access.
+
+use crate::dram::{Dram, DramConfig};
+use gmmu::types::VirtPage;
+use sim_core::stats::Counter;
+use sim_core::time::Cycle;
+
+/// Set-associative presence cache over pages with LRU replacement.
+#[derive(Debug)]
+pub struct PageCache {
+    sets: Vec<Vec<(VirtPage, u64)>>,
+    n_sets: usize,
+    assoc: usize,
+    tick: u64,
+    /// Hits.
+    pub hits: Counter,
+    /// Misses (which allocate).
+    pub misses: Counter,
+}
+
+impl PageCache {
+    /// `entries` total page slots, `assoc` ways.
+    ///
+    /// # Panics
+    /// Panics on degenerate geometry.
+    #[must_use]
+    pub fn new(entries: usize, assoc: usize) -> Self {
+        assert!(entries > 0 && assoc > 0 && entries.is_multiple_of(assoc));
+        let n_sets = entries / assoc;
+        PageCache {
+            sets: (0..n_sets).map(|_| Vec::with_capacity(assoc)).collect(),
+            n_sets,
+            assoc,
+            tick: 0,
+            hits: Counter::default(),
+            misses: Counter::default(),
+        }
+    }
+
+    /// Access `page`: returns true on a hit; a miss allocates.
+    pub fn access(&mut self, page: VirtPage) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = (page.0 % self.n_sets as u64) as usize;
+        let ways = &mut self.sets[set];
+        if let Some(w) = ways.iter_mut().find(|(p, _)| *p == page) {
+            w.1 = tick;
+            self.hits.inc();
+            return true;
+        }
+        self.misses.inc();
+        if ways.len() == self.assoc {
+            let lru = ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(i, _)| i)
+                .expect("full set");
+            ways.swap_remove(lru);
+        }
+        ways.push((page, tick));
+        false
+    }
+
+    /// Drop `page` (device-memory eviction invalidates cached data).
+    pub fn invalidate(&mut self, page: VirtPage) {
+        let set = (page.0 % self.n_sets as u64) as usize;
+        self.sets[set].retain(|(p, _)| *p != page);
+    }
+}
+
+/// The two-level data-cache hierarchy backed by the GDDR5 channel
+/// model ([`Dram`]).
+#[derive(Debug)]
+pub struct DataHierarchy {
+    l1: Vec<PageCache>,
+    l2: PageCache,
+    dram: Dram,
+    l1_hit: u64,
+    l2_hit: u64,
+}
+
+impl DataHierarchy {
+    /// Table I-ish defaults for `sms` SMs.
+    #[must_use]
+    pub fn new(sms: usize) -> Self {
+        DataHierarchy {
+            l1: (0..sms).map(|_| PageCache::new(12, 6)).collect(),
+            l2: PageCache::new(768, 16),
+            dram: Dram::new(DramConfig::default()),
+            l1_hit: 4,
+            l2_hit: 30,
+        }
+    }
+
+    /// Latency of a data access from SM `sm` to `page` at time `now`.
+    pub fn access(&mut self, sm: usize, page: VirtPage, now: Cycle) -> u64 {
+        if self.l1[sm].access(page) {
+            self.l1_hit
+        } else if self.l2.access(page) {
+            self.l1_hit + self.l2_hit
+        } else {
+            self.l1_hit + self.l2_hit + self.dram.access(page, now)
+        }
+    }
+
+    /// DRAM row-buffer statistics.
+    #[must_use]
+    pub fn dram_stats(&self) -> (u64, u64) {
+        (self.dram.row_hits.get(), self.dram.row_misses.get())
+    }
+
+    /// Invalidate an evicted page everywhere.
+    pub fn invalidate(&mut self, page: VirtPage) {
+        for l1 in &mut self.l1 {
+            l1.invalidate(page);
+        }
+        self.l2.invalidate(page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = PageCache::new(4, 2);
+        assert!(!c.access(VirtPage(0)));
+        assert!(c.access(VirtPage(0)));
+        assert_eq!(c.hits.get(), 1);
+        assert_eq!(c.misses.get(), 1);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut c = PageCache::new(2, 2); // one set
+        c.access(VirtPage(0));
+        c.access(VirtPage(1));
+        c.access(VirtPage(0)); // 1 is LRU
+        c.access(VirtPage(2)); // evicts 1
+        assert!(c.access(VirtPage(0)));
+        assert!(!c.access(VirtPage(1)));
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let mut c = PageCache::new(4, 2);
+        c.access(VirtPage(3));
+        c.invalidate(VirtPage(3));
+        assert!(!c.access(VirtPage(3)));
+    }
+
+    #[test]
+    fn hierarchy_latencies_order() {
+        let mut h = DataHierarchy::new(2);
+        let cold = h.access(0, VirtPage(0), Cycle::ZERO); // L1+L2 miss → DRAM row miss
+        let warm = h.access(0, VirtPage(0), Cycle(10_000)); // L1 hit
+        assert_eq!(cold, 4 + 30 + 160 + 64);
+        assert_eq!(warm, 4);
+        // Other SM: L1 miss, L2 hit.
+        let shared = h.access(1, VirtPage(0), Cycle(20_000));
+        assert_eq!(shared, 4 + 30);
+    }
+
+    #[test]
+    fn hierarchy_invalidation_is_global() {
+        let mut h = DataHierarchy::new(2);
+        h.access(0, VirtPage(7), Cycle::ZERO);
+        h.access(1, VirtPage(7), Cycle(10_000));
+        h.invalidate(VirtPage(7));
+        // Re-access goes to DRAM again (row now open → row hit).
+        assert_eq!(h.access(0, VirtPage(7), Cycle(20_000)), 4 + 30 + 60 + 64);
+    }
+}

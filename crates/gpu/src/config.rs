@@ -1,0 +1,88 @@
+//! Whole-system configuration (Table I defaults).
+
+use gmmu::translation::TranslationConfig;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors (Table I: 28).
+    pub sms: usize,
+    /// Concurrently modelled warp slots ("lanes") per SM. Each lane
+    /// executes one partition of the workload's access stream; a lane
+    /// blocked on a far fault does not stop its SM's other lanes —
+    /// the replayable-fault behaviour of Zheng et al.
+    pub warps_per_sm: usize,
+    /// Address-translation hierarchy shape.
+    pub translation: TranslationConfig,
+    /// Far-fault base service latency in cycles (20 µs).
+    pub fault_base_cycles: u64,
+    /// Extra host cycles per additional distinct fault in a batch
+    /// (~5 µs of driver-side fault processing).
+    pub per_fault_cycles: u64,
+    /// Interconnect bandwidth per direction (GB/s).
+    pub pcie_gb_per_s: f64,
+    /// Crash detector: untouched fraction of evicted pages (see
+    /// `uvm::UvmConfig::crash_untouch_fraction`).
+    pub crash_untouch_fraction: f64,
+    /// Crash detector arming volume in footprint multiples (0 disables).
+    pub crash_min_evicted_factor: u64,
+    /// Kernel-launch overhead applied at every barrier release (≈5 µs).
+    pub launch_overhead_cycles: u64,
+    /// Relative jitter applied to every access's compute delay
+    /// (0.25 = ±25 %). Models the SM timing skew the paper identifies
+    /// as its second source of thrashing ("SM#1 might access a page at
+    /// t1, and SM#2 might access the same page at t2"); without it the
+    /// barrier-synchronized lanes consume in lock-step and the
+    /// forward-distance sensitivity flattens out.
+    pub compute_jitter: f64,
+    /// Seed for the jitter PRNG (runs are bit-reproducible).
+    pub jitter_seed: u64,
+    /// Hard stop: declare `Timeout` past this many cycles.
+    pub max_cycles: u64,
+    /// Record a timeline sample at every fault-batch dispatch (off by
+    /// default; used by the `timeline` experiment to plot policy
+    /// dynamics over time).
+    pub record_timeline: bool,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            sms: 28,
+            warps_per_sm: 4,
+            translation: TranslationConfig::default(),
+            fault_base_cycles: 28_000,
+            per_fault_cycles: 7_000,
+            pcie_gb_per_s: 16.0,
+            crash_untouch_fraction: 0.65,
+            crash_min_evicted_factor: 4,
+            launch_overhead_cycles: 7_000,
+            compute_jitter: 0.3,
+            jitter_seed: 0x6A17_7E12,
+            max_cycles: 200_000_000_000,
+            record_timeline: false,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// Total lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.sms * self.warps_per_sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = GpuConfig::default();
+        assert_eq!(c.sms, 28);
+        assert_eq!(c.fault_base_cycles, 28_000);
+        assert_eq!(c.pcie_gb_per_s, 16.0);
+        assert_eq!(c.lanes(), 112);
+    }
+}

@@ -1,0 +1,19 @@
+//! # gpu — the whole-system simulator
+//!
+//! Binds the substrates together into the event-driven GPU model the
+//! evaluation runs on: SM lanes replaying workload access streams, the
+//! `gmmu` translation hierarchy, page-presence data caches, and the
+//! `uvm` driver running `cppe` policies.
+//!
+//! * [`config`] — [`GpuConfig`] (Table I defaults),
+//! * [`cache`] — the L1/L2 data-cache latency model,
+//! * [`dram`] — the GDDR5 12-channel row-buffer model,
+//! * [`sim`] — [`simulate`], [`RunResult`] and [`Outcome`].
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod sim;
+
+pub use config::GpuConfig;
+pub use sim::{simulate, simulate_accesses, Outcome, RunResult, TimelinePoint};

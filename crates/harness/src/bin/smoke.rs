@@ -1,0 +1,27 @@
+//! Quick smoke run: one workload, baseline vs CPPE, timing info.
+use harness::{run_cell, ExpConfig};
+use cppe::presets::PolicyPreset;
+use workloads::registry;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "STN".into());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let cfg = ExpConfig { scale, ..ExpConfig::default() };
+    let w = registry::by_abbr(&which).expect("unknown workload");
+    for preset in [PolicyPreset::Baseline, PolicyPreset::Cppe, PolicyPreset::DisablePfOnFull] {
+        for rate in [0.75, 0.5] {
+            let t0 = std::time::Instant::now();
+            let r = run_cell(&w, preset, rate, &cfg);
+            let frac = r.engine.total_untouch as f64 / r.engine.pages_evicted.max(1) as f64;
+            let vol = r.engine.pages_evicted as f64 / w.pages(cfg.scale) as f64;
+            println!(
+                "{:8} {:16} rate={:.2} outcome={:?} cycles={:>12} faults={:>8} evict={:>8} ufrac={:.2} vol={:.1} wall={:?}",
+                w.abbr, preset.label(), rate, r.outcome, r.cycles,
+                r.driver.faults_serviced, r.engine.chunk_evictions, frac, vol, t0.elapsed()
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Reprints Table II — the workload inventory — from the registry
+//! (names, abbreviations, footprints, suites, pattern types), plus the
+//! derived per-run statistics (pages, chunks, accesses at scale 1).
+use workloads::registry;
+
+fn main() {
+    println!(
+        "{:<12} {:<5} {:>9} {:<10} {:<7} {:>8} {:>7} {:>10}",
+        "workload", "abbr", "footprint", "suite", "type", "pages", "chunks", "accesses"
+    );
+    println!("{}", "-".repeat(76));
+    let lanes = 28;
+    let mut total_mb = 0.0;
+    for w in registry::all() {
+        let pages = w.pages(1.0);
+        println!(
+            "{:<12} {:<5} {:>7.1}MB {:<10} {:<7} {:>8} {:>7} {:>10}",
+            w.name,
+            w.abbr,
+            w.footprint_mb,
+            w.suite,
+            w.pattern.roman(),
+            pages,
+            pages / 16,
+            w.total_accesses(lanes, 1.0),
+        );
+        total_mb += w.footprint_mb;
+    }
+    println!("{}", "-".repeat(76));
+    println!(
+        "23 workloads, footprints 4..130 MB, average {:.1} MB (paper: 45 MB)",
+        total_mb / 23.0
+    );
+}

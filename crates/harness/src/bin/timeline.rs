@@ -1,0 +1,7 @@
+//! Extension: eviction-traffic timeline. Usage:
+//! `cargo run --release -p harness --bin timeline [--quick] [--scale X]`
+fn main() {
+    harness::experiments::binary_main("timeline", |cfg, threads| {
+        harness::experiments::timeline::run(cfg, threads)
+    });
+}

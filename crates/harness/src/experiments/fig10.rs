@@ -1,0 +1,102 @@
+//! Fig. 10 — "Performance of disabling prefetch when memory full."
+//!
+//! §VI-B: disable-on-full and CPPE against the baseline on the apps
+//! that thrash in the baseline. Where the baseline crashed (MVT, BIC),
+//! performance is normalized to disable-on-full instead, exactly as the
+//! paper does ("we normalized CPPE's performance to this method").
+//! Expected shape: disabling prefetch costs a lot for the less-thrashy
+//! apps, wins for the severe thrashers, and CPPE beats disabling for
+//! everything except SAD.
+
+use crate::report::{fmt_speedup, Table};
+use crate::runner::{speedup, ExpConfig, RATES};
+use crate::sweep::{cross, run_sweep};
+use cppe::presets::PolicyPreset;
+use gpu::Outcome;
+use workloads::registry;
+
+/// The thrash-prone set shown in the figure (Fig. 4 qualifiers plus the
+/// streaming contrast apps the paper discusses in §VI-B).
+pub const APPS: [&str; 8] = ["SAD", "NW", "MVT", "BIC", "SRD", "HSD", "HYB", "2DC"];
+
+/// Run and render.
+#[must_use]
+pub fn run(cfg: &ExpConfig, threads: usize) -> String {
+    let specs: Vec<_> = APPS
+        .iter()
+        .map(|a| registry::by_abbr(a).expect("known app"))
+        .collect();
+    let jobs = cross(
+        &specs,
+        &[
+            PolicyPreset::Baseline,
+            PolicyPreset::DisablePfOnFull,
+            PolicyPreset::Cppe,
+        ],
+        &RATES,
+    );
+    let results = run_sweep(jobs, cfg, threads);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fig. 10 — disabling prefetch when memory fills vs baseline vs CPPE,\n\
+         scale={} ('X' = baseline crashed; those rows are normalized to\n\
+         disable-on-full instead, as in the paper)\n\n",
+        cfg.scale
+    ));
+    for rate in [75u32, 50u32] {
+        let mut table = Table::new(&["app", "nopf-on-full", "cppe", "normalizer"]);
+        for app in APPS {
+            let base = &results[&(app.to_string(), "baseline".into(), rate)];
+            let nopf = &results[&(app.to_string(), "nopf-on-full".into(), rate)];
+            let cppe = &results[&(app.to_string(), "cppe".into(), rate)];
+            if base.outcome == Outcome::Crashed {
+                table.row(vec![
+                    app.to_string(),
+                    "1.00".into(),
+                    fmt_speedup(speedup(nopf, cppe)),
+                    "X → nopf-on-full".into(),
+                ]);
+            } else {
+                table.row(vec![
+                    app.to_string(),
+                    fmt_speedup(speedup(base, nopf)),
+                    fmt_speedup(speedup(base, cppe)),
+                    "baseline".into(),
+                ]);
+            }
+        }
+        out.push_str(&format!("-- {rate}% oversubscription --\n"));
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "Paper shape: disabling prefetch slows the regular apps severely\n\
+         (up to ~85%), wins only for severe thrashers (SAD@50%, NW, MVT,\n\
+         BIC); CPPE beats disabling everywhere except SAD.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabling_prefetch_hurts_streaming() {
+        let cfg = ExpConfig::quick();
+        let report = run(&cfg, 0);
+        assert!(report.contains("2DC"));
+        // 2DC's nopf-on-full speedup must be well below 1.
+        let line = report
+            .lines()
+            .find(|l| l.starts_with("2DC"))
+            .expect("2DC row");
+        let first_num: f64 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("numeric cell");
+        assert!(first_num < 0.9, "2DC nopf speedup {first_num} should be << 1");
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 3 — "Comparison of LRU with Random and reserved LRU."
+//!
+//! Motivation experiment (§III, Inefficiency 2): Random and reserved
+//! LRU (10 %/20 %) against plain LRU, all with the naïve sequential-
+//! local prefetcher, at 50 % oversubscription, on the four thrashing
+//! apps (SRD, HSD, MRQ, STN) plus the two region-moving apps (B+T,
+//! HYB). Expected shape: reserved LRU gains are limited on thrashers
+//! (≤ ~11 % in the paper, sometimes below Random) and it *hurts*
+//! B+T/HYB.
+
+use crate::report::{fmt_speedup, Table};
+use crate::runner::{geomean, speedup, ExpConfig};
+use crate::sweep::{cross, run_sweep};
+use cppe::presets::PolicyPreset;
+use workloads::registry;
+
+/// Apps shown in Fig. 3.
+pub const APPS: [&str; 6] = ["SRD", "HSD", "MRQ", "STN", "B+T", "HYB"];
+
+/// Policies compared (all + naïve prefetcher); LRU is the normalizer.
+pub const POLICIES: [PolicyPreset; 4] = [
+    PolicyPreset::Baseline,
+    PolicyPreset::Random,
+    PolicyPreset::ReservedLru10,
+    PolicyPreset::ReservedLru20,
+];
+
+/// Run the experiment and render the report.
+#[must_use]
+pub fn run(cfg: &ExpConfig, threads: usize) -> String {
+    let specs: Vec<_> = APPS
+        .iter()
+        .map(|a| registry::by_abbr(a).expect("known app"))
+        .collect();
+    let jobs = cross(&specs, &POLICIES, &[0.5]);
+    let results = run_sweep(jobs, cfg, threads);
+
+    let mut table = Table::new(&["app", "random", "lru-10%", "lru-20%"]);
+    let mut cols: Vec<Vec<Option<f64>>> = vec![Vec::new(); 3];
+    for app in APPS {
+        let base = &results[&(app.to_string(), "baseline".into(), 50)];
+        let mut row = vec![app.to_string()];
+        for (i, label) in ["random", "lru-10%", "lru-20%"].iter().enumerate() {
+            let r = &results[&(app.to_string(), (*label).to_string(), 50)];
+            let s = speedup(base, r);
+            cols[i].push(s);
+            row.push(fmt_speedup(s));
+        }
+        table.row(row);
+    }
+    let mut avg_row = vec!["geomean".to_string()];
+    for col in &cols {
+        avg_row.push(fmt_speedup(geomean(col)));
+    }
+    table.row(avg_row);
+
+    format!(
+        "Fig. 3 — speedup over LRU (all policies + naive seq-local prefetcher),\n\
+         50% oversubscription, scale={}\n\n{}\n\
+         Paper shape: reserved LRU gains on thrashers are limited (<= ~11%),\n\
+         sometimes below Random; B+T/HYB lose under reservation (up to -53%).\n",
+        cfg.scale,
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_apps_and_average() {
+        let cfg = ExpConfig::quick();
+        let report = run(&cfg, 0);
+        for app in APPS {
+            assert!(report.contains(app), "missing {app}");
+        }
+        assert!(report.contains("geomean"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Table III — "Maximum untouch level in first four intervals."
+//!
+//! §VI-A: with MHPE pinned to MRU (switching disabled, as in the
+//! sensitivity study that derived T1), record the per-interval total
+//! untouch level over the first four intervals after memory fills, and
+//! report the maximum — at 75 % and 50 % oversubscription, sorted
+//! descending by the 75 % value as in the paper.
+
+use crate::report::Table;
+use crate::runner::ExpConfig;
+use crate::sweep::{cross, run_sweep};
+use cppe::presets::PolicyPreset;
+use workloads::registry;
+
+/// Collect `(app, max-untouch@75, max-untouch@50)` for all apps.
+#[must_use]
+pub fn collect(cfg: &ExpConfig, threads: usize) -> Vec<(String, u32, u32)> {
+    let specs = registry::all();
+    let jobs = cross(&specs, &[PolicyPreset::MhpeNoSwitch], &[0.75, 0.5]);
+    let results = run_sweep(jobs, cfg, threads);
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let get = |rate: u32| {
+            results[&(spec.abbr.to_string(), "mhpe-noswitch".into(), rate)]
+                .mhpe
+                .as_ref()
+                .map_or(0, cppe::evict::MhpeTrace::max_untouch_first4)
+        };
+        rows.push((spec.abbr.to_string(), get(75), get(50)));
+    }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1.max(r.2)));
+    rows
+}
+
+/// Run and render.
+#[must_use]
+pub fn run(cfg: &ExpConfig, threads: usize) -> String {
+    let rows = collect(cfg, threads);
+    let mut table = Table::new(&["app", "75%", "50%"]);
+    for (app, hi, lo) in &rows {
+        if *hi == 0 && *lo == 0 {
+            continue; // the paper omits apps with max untouch level 0
+        }
+        table.row(vec![app.clone(), hi.to_string(), lo.to_string()]);
+    }
+    format!(
+        "Table III — maximum per-interval untouch level in the first four\n\
+         intervals (MHPE pinned to MRU), scale={}\n\
+         (apps with level 0 at both rates omitted, as in the paper)\n\n{}\n\
+         Paper shape: wide range (0..60); B+T/HIS/BFS/HYB/MVT/NW high;\n\
+         SRD/HSD/LEU low (these favour MRU and must stay below T1=32).\n",
+        cfg.scale,
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type4_thrashers_stay_below_t1() {
+        let cfg = ExpConfig::quick();
+        let rows = collect(&cfg, 0);
+        for (app, hi, lo) in &rows {
+            if app == "SRD" || app == "HSD" {
+                assert!(
+                    *hi < 32 && *lo < 32,
+                    "{app} untouch ({hi},{lo}) must stay below T1=32 so MHPE keeps MRU"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_apps_exceed_t1() {
+        let cfg = ExpConfig::quick();
+        let rows = collect(&cfg, 0);
+        let find = |a: &str| rows.iter().find(|r| r.0 == a).map(|r| (r.1, r.2)).unwrap();
+        let (bt75, bt50) = find("B+T");
+        assert!(
+            bt75 >= 32 || bt50 >= 32,
+            "B+T untouch ({bt75},{bt50}) must cross T1 so MHPE switches to LRU"
+        );
+        let (mvt75, mvt50) = find("MVT");
+        assert!(mvt75 >= 32 || mvt50 >= 32, "MVT ({mvt75},{mvt50})");
+    }
+}

@@ -1,0 +1,20 @@
+//! # harness — experiment harness for the CPPE reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation. Each
+//! `src/bin/*` binary reproduces one artifact (see DESIGN.md's
+//! experiment index); the library provides the shared machinery:
+//!
+//! * [`runner`] — one (workload × policy × rate) cell,
+//! * [`sweep`] — the parallel sweep executor,
+//! * [`report`] — text/CSV table rendering,
+//! * [`opt`] — the offline Belady chunk-fault bound,
+//! * [`experiments`] — one module per paper artifact.
+
+pub mod experiments;
+pub mod opt;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use runner::{capacity_pages, geomean, run_cell, speedup, ExpConfig, RATES};
+pub use sweep::{cross, run_sweep, Job};

@@ -1,0 +1,130 @@
+//! Parallel sweep executor.
+//!
+//! The evaluation matrix (23 workloads × policies × 2 rates) is
+//! embarrassingly parallel; jobs are distributed over a crossbeam
+//! channel to `std::thread::scope` workers, and results come back keyed
+//! by `(workload, policy-label, rate)` for deterministic assembly.
+
+use crate::runner::{run_cell, ExpConfig};
+use cppe::presets::PolicyPreset;
+use gpu::RunResult;
+use std::collections::BTreeMap;
+use workloads::WorkloadSpec;
+
+/// Key identifying one cell: `(workload abbr, policy label, rate in %)`.
+pub type CellKey = (String, String, u32);
+
+/// One requested run.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Workload to run.
+    pub spec: WorkloadSpec,
+    /// Policy preset.
+    pub preset: PolicyPreset,
+    /// Oversubscription rate (fraction of footprint that fits).
+    pub rate: f64,
+}
+
+impl Job {
+    /// The result-map key for this job.
+    #[must_use]
+    pub fn key(&self) -> CellKey {
+        (
+            self.spec.abbr.to_string(),
+            self.preset.label(),
+            (self.rate * 100.0).round() as u32,
+        )
+    }
+}
+
+/// Run all jobs, using up to `threads` workers (0 = available
+/// parallelism). Results are keyed deterministically regardless of
+/// completion order.
+#[must_use]
+pub fn run_sweep(jobs: Vec<Job>, cfg: &ExpConfig, threads: usize) -> BTreeMap<CellKey, RunResult> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        threads
+    }
+    .min(jobs.len().max(1));
+
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(CellKey, RunResult)>();
+    for job in jobs {
+        job_tx.send(job).expect("queueing job");
+    }
+    drop(job_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let key = job.key();
+                    let result = run_cell(&job.spec, job.preset, job.rate, cfg);
+                    if res_tx.send((key, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        res_rx.iter().collect()
+    })
+}
+
+/// Convenience: cross `specs × presets × rates` into jobs.
+#[must_use]
+pub fn cross(specs: &[WorkloadSpec], presets: &[PolicyPreset], rates: &[f64]) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for spec in specs {
+        for &preset in presets {
+            for &rate in rates {
+                jobs.push(Job {
+                    spec: spec.clone(),
+                    preset,
+                    rate,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::registry;
+
+    #[test]
+    fn sweep_returns_every_cell() {
+        let specs = vec![
+            registry::by_abbr("STN").unwrap(),
+            registry::by_abbr("MRQ").unwrap(),
+        ];
+        let jobs = cross(
+            &specs,
+            &[PolicyPreset::Baseline, PolicyPreset::Cppe],
+            &[0.5],
+        );
+        assert_eq!(jobs.len(), 4);
+        let cfg = ExpConfig::quick();
+        let results = run_sweep(jobs, &cfg, 2);
+        assert_eq!(results.len(), 4);
+        assert!(results.contains_key(&("STN".into(), "cppe".into(), 50)));
+        assert!(results.contains_key(&("MRQ".into(), "baseline".into(), 50)));
+    }
+
+    #[test]
+    fn sweep_matches_serial_run() {
+        let spec = registry::by_abbr("STN").unwrap();
+        let cfg = ExpConfig::quick();
+        let serial = run_cell(&spec, PolicyPreset::Baseline, 0.5, &cfg);
+        let jobs = cross(&[spec], &[PolicyPreset::Baseline], &[0.5]);
+        let sweep = run_sweep(jobs, &cfg, 3);
+        let cell = &sweep[&("STN".into(), "baseline".into(), 50)];
+        assert_eq!(cell.cycles, serial.cycles, "parallel run must be deterministic");
+    }
+}

@@ -1,0 +1,233 @@
+//! Deterministic discrete-event queue.
+//!
+//! The whole-GPU simulator in the `gpu` crate is a classic discrete-event
+//! simulation: SM lane wakeups, page-table-walk completions, fault-batch
+//! service completions and PCIe transfer completions are all events with a
+//! firing timestamp. Correct *determinism* matters more than raw speed
+//! here — the reproduction must be bit-stable across runs — so same-cycle
+//! events fire in strict insertion (FIFO) order via a monotone sequence
+//! number tie-break.
+
+use crate::time::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within a
+        // cycle, the first-inserted) entry is popped first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A min-ordered event queue keyed by [`Cycle`], FIFO among equal cycles.
+///
+/// ```
+/// use sim_core::{EventQueue, Cycle};
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(10), "b");
+/// q.push(Cycle(5), "a");
+/// q.push(Cycle(10), "c");
+/// assert_eq!(q.pop(), Some((Cycle(5), "a")));
+/// assert_eq!(q.pop(), Some((Cycle(10), "b")));
+/// assert_eq!(q.pop(), Some((Cycle(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at [`Cycle::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the time of the last popped event:
+    /// scheduling into the past is always a simulator bug.
+    pub fn push(&mut self, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedule `event` to fire `delta` cycles from the current time.
+    pub fn push_after(&mut self, delta: u64, event: E) {
+        self.push(self.now.after(delta), event);
+    }
+
+    /// Pop the earliest event, advancing the queue's notion of "now".
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Simulated time of the most recently popped event.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(3), 30);
+        q.push(Cycle(1), 10);
+        q.push(Cycle(3), 31);
+        q.push(Cycle(2), 20);
+        q.push(Cycle(3), 32);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (Cycle(1), 10),
+                (Cycle(2), 20),
+                (Cycle(3), 30),
+                (Cycle(3), 31),
+                (Cycle(3), 32)
+            ]
+        );
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(7), ());
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycle(7));
+    }
+
+    #[test]
+    fn push_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), 1);
+        q.pop();
+        q.push_after(5, 2);
+        assert_eq!(q.pop(), Some((Cycle(15), 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), ());
+        q.pop();
+        q.push(Cycle(9), ());
+    }
+
+    #[test]
+    fn same_cycle_reschedule_allowed() {
+        // An event handler may schedule follow-up work at the current cycle.
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), 1);
+        q.pop();
+        q.push(Cycle(10), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 2)));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Cycle(1), ());
+        q.push(Cycle(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(4), ());
+        assert_eq!(q.peek_time(), Some(Cycle(4)));
+        assert_eq!(q.now(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn large_interleaved_workload_stays_sorted() {
+        // Deterministic pseudo-random schedule; ensures heap discipline
+        // under thousands of events.
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 0..5000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.push(Cycle(x % 10_000), i);
+        }
+        let mut last = Cycle::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, 5000);
+    }
+}

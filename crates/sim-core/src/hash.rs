@@ -1,0 +1,130 @@
+//! FxHash-style hashing for the simulator's integer-keyed hot maps.
+//!
+//! Residency maps, TLB backing stores, pattern buffers and chunk-chain
+//! indexes are all keyed by page/chunk numbers and sit on the per-access
+//! hot path. SipHash (std's default) costs ~10x more than needed for
+//! trusted integer keys, so we implement the ~20-line Fx multiply-rotate
+//! hash here rather than adding the `rustc-hash` dependency (it is not on
+//! the sanctioned offline crate list — see DESIGN.md).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx (Firefox/rustc) hasher: one wrapping multiply + rotate per word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic byte path (rare in this workspace): fold 8 bytes at a time.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash + ?Sized>(x: &T) -> u64 {
+        let mut h = FxHasher::default();
+        x.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(&12345u64), hash_one(&12345u64));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        // Not guaranteed in general, but these small keys must not collide.
+        let hs: Vec<u64> = (0u64..1000).map(|i| hash_one(&i)).collect();
+        let set: std::collections::HashSet<_> = hs.iter().collect();
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.remove(&2), Some("two"));
+        assert!(!m.contains_key(&2));
+    }
+
+    #[test]
+    fn set_basic_ops() {
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        assert_eq!(hash_one(&b"hello world"[..]), hash_one(&b"hello world"[..]));
+        assert_ne!(hash_one(&b"hello world"[..]), hash_one(&b"hello worle"[..]));
+    }
+
+    #[test]
+    fn tuple_keys() {
+        let a = hash_one(&(1u32, 2u64));
+        let b = hash_one(&(2u32, 1u64));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,128 @@
+//! Clock domain for the simulated GPU.
+//!
+//! Everything in the simulator is expressed in GPU core cycles at the
+//! 1.4 GHz clock from Table I of the paper. Latencies that the paper gives
+//! in wall time (the 20 µs far-fault service time, PCIe transfer time at
+//! 16 GB/s) are converted here once so the rest of the code never deals
+//! with floating point time.
+
+/// GPU core clock frequency in GHz (Table I: "28 SMs, 1.4GHz").
+pub const GPU_CLOCK_GHZ: f64 = 1.4;
+
+/// A point in simulated time, measured in GPU core cycles.
+///
+/// `Cycle` is an absolute timestamp; durations are plain `u64` cycle
+/// counts. The type is a thin wrapper so timestamps cannot be confused
+/// with other `u64` quantities (page numbers, counters, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable timestamp (used as "never").
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Advance this timestamp by `delta` cycles, saturating at `Cycle::MAX`.
+    #[inline]
+    #[must_use]
+    pub fn after(self, delta: u64) -> Cycle {
+        Cycle(self.0.saturating_add(delta))
+    }
+
+    /// Cycles elapsed since `earlier`. Returns 0 if `earlier` is later
+    /// than `self` (defensive: the event queue guarantees monotonicity,
+    /// but stats code should never panic on reordered observations).
+    #[inline]
+    #[must_use]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// This timestamp expressed in nanoseconds of simulated wall time.
+    #[inline]
+    #[must_use]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / GPU_CLOCK_GHZ
+    }
+}
+
+impl core::fmt::Display for Cycle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+/// Convert a duration in nanoseconds to GPU cycles, rounding up so that a
+/// nonzero wall-time latency never becomes a zero-cycle latency.
+#[inline]
+#[must_use]
+pub fn ns_to_cycles(ns: f64) -> u64 {
+    (ns * GPU_CLOCK_GHZ).ceil() as u64
+}
+
+/// Convert a duration in microseconds to GPU cycles (rounding up).
+#[inline]
+#[must_use]
+pub fn us_to_cycles(us: f64) -> u64 {
+    ns_to_cycles(us * 1000.0)
+}
+
+/// Cycles needed to move `bytes` over a link of `gb_per_s` GB/s
+/// (rounding up; GB = 1e9 bytes, matching PCIe marketing units used by
+/// the paper's "16GB/s" interconnect).
+#[inline]
+#[must_use]
+pub fn transfer_cycles(bytes: u64, gb_per_s: f64) -> u64 {
+    let ns = bytes as f64 / gb_per_s; // bytes / (GB/s) = ns
+    ns_to_cycles(ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_latency_is_28k_cycles() {
+        // 20 us at 1.4 GHz = 28,000 cycles — the paper's far-fault cost.
+        assert_eq!(us_to_cycles(20.0), 28_000);
+    }
+
+    #[test]
+    fn page_transfer_is_about_359_cycles() {
+        // 4 KB over 16 GB/s = 256 ns = 358.4 cycles, rounded up.
+        assert_eq!(transfer_cycles(4096, 16.0), 359);
+    }
+
+    #[test]
+    fn after_and_since_roundtrip() {
+        let t = Cycle(100).after(50);
+        assert_eq!(t, Cycle(150));
+        assert_eq!(t.since(Cycle(100)), 50);
+        assert_eq!(Cycle(100).since(t), 0, "since() saturates");
+    }
+
+    #[test]
+    fn after_saturates() {
+        assert_eq!(Cycle::MAX.after(1), Cycle::MAX);
+    }
+
+    #[test]
+    fn ns_conversion_roundtrip() {
+        let cycles = ns_to_cycles(1000.0);
+        assert_eq!(cycles, 1400);
+        let ns = Cycle(cycles).as_ns();
+        assert!((ns - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_transfer_is_free() {
+        assert_eq!(transfer_cycles(0, 16.0), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Cycle(42)), "42cy");
+    }
+}

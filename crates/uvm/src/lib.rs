@@ -1,0 +1,20 @@
+//! # uvm — unified-memory runtime substrate
+//!
+//! The software side of GPU unified memory: physical frame management,
+//! the CPU↔GPU interconnect, and the host driver that services far-fault
+//! batches by invoking the `cppe` policy engine.
+//!
+//! * [`frames`] — the device-memory frame allocator (capacity set per
+//!   run to 75 % / 50 % of the workload footprint, §VI),
+//! * [`pcie`] — the 16 GB/s full-duplex link model,
+//! * [`driver`] — [`UvmDriver`], the fault-batch service loop with the
+//!   20 µs far-fault cost, eviction, touch-bit harvesting and crash
+//!   (thrash-death) detection.
+
+pub mod driver;
+pub mod frames;
+pub mod pcie;
+
+pub use driver::{BatchResult, DriverStats, UvmConfig, UvmDriver};
+pub use frames::FrameAllocator;
+pub use pcie::PcieLink;

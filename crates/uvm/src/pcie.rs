@@ -1,0 +1,132 @@
+//! CPU↔GPU interconnect model.
+//!
+//! Table I: "16GB/s, 20 µs page fault service time". The link is modelled
+//! as full duplex — one 16 GB/s lane per direction — with transfers in
+//! each direction serialized FIFO. Page migrations (host→device) and
+//! evictions (device→host) therefore overlap with each other but queue
+//! behind earlier traffic in their own direction, which is what makes
+//! thrashing (high eviction volume) consume real time in the simulator,
+//! not just counters.
+
+use gmmu::types::PAGE_SIZE;
+use sim_core::time::{transfer_cycles, Cycle};
+
+/// The PCIe-like link.
+#[derive(Debug)]
+pub struct PcieLink {
+    gb_per_s: f64,
+    h2d_free: Cycle,
+    d2h_free: Cycle,
+    /// Total host→device bytes moved.
+    pub bytes_h2d: u64,
+    /// Total device→host bytes moved.
+    pub bytes_d2h: u64,
+}
+
+impl PcieLink {
+    /// Link with `gb_per_s` GB/s per direction (Table I: 16).
+    ///
+    /// # Panics
+    /// Panics if the bandwidth is not positive.
+    #[must_use]
+    pub fn new(gb_per_s: f64) -> Self {
+        assert!(gb_per_s > 0.0, "link bandwidth must be positive");
+        PcieLink {
+            gb_per_s,
+            h2d_free: Cycle::ZERO,
+            d2h_free: Cycle::ZERO,
+            bytes_h2d: 0,
+            bytes_d2h: 0,
+        }
+    }
+
+    /// Enqueue a host→device transfer of `pages` pages at `now`.
+    /// Returns its completion time.
+    pub fn transfer_h2d(&mut self, pages: u64, now: Cycle) -> Cycle {
+        let bytes = pages * PAGE_SIZE;
+        self.bytes_h2d += bytes;
+        let start = self.h2d_free.max(now);
+        let done = start.after(transfer_cycles(bytes, self.gb_per_s));
+        self.h2d_free = done;
+        done
+    }
+
+    /// Enqueue a device→host transfer of `pages` pages at `now`.
+    /// Returns its completion time.
+    pub fn transfer_d2h(&mut self, pages: u64, now: Cycle) -> Cycle {
+        let bytes = pages * PAGE_SIZE;
+        self.bytes_d2h += bytes;
+        let start = self.d2h_free.max(now);
+        let done = start.after(transfer_cycles(bytes, self.gb_per_s));
+        self.d2h_free = done;
+        done
+    }
+
+    /// When the host→device direction becomes idle.
+    #[must_use]
+    pub fn h2d_free_at(&self) -> Cycle {
+        self.h2d_free
+    }
+
+    /// When the device→host direction becomes idle.
+    #[must_use]
+    pub fn d2h_free_at(&self) -> Cycle {
+        self.d2h_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_page_is_359_cycles_at_16gbps() {
+        let mut l = PcieLink::new(16.0);
+        let done = l.transfer_h2d(1, Cycle::ZERO);
+        assert_eq!(done, Cycle(359));
+        assert_eq!(l.bytes_h2d, 4096);
+    }
+
+    #[test]
+    fn same_direction_serializes() {
+        let mut l = PcieLink::new(16.0);
+        let a = l.transfer_h2d(1, Cycle::ZERO);
+        let b = l.transfer_h2d(1, Cycle::ZERO);
+        assert_eq!(b, a.after(359));
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut l = PcieLink::new(16.0);
+        let a = l.transfer_h2d(16, Cycle::ZERO);
+        let b = l.transfer_d2h(16, Cycle::ZERO);
+        assert_eq!(a, b, "full duplex: directions do not contend");
+    }
+
+    #[test]
+    fn idle_gap_respected() {
+        let mut l = PcieLink::new(16.0);
+        l.transfer_h2d(1, Cycle::ZERO);
+        let done = l.transfer_h2d(1, Cycle(10_000));
+        assert_eq!(done, Cycle(10_359), "starts at now when link idle");
+    }
+
+    #[test]
+    fn zero_pages_is_free() {
+        let mut l = PcieLink::new(16.0);
+        assert_eq!(l.transfer_h2d(0, Cycle(5)), Cycle(5));
+    }
+
+    #[test]
+    fn chunk_transfer_time() {
+        // 64 KB at 16 GB/s = 4096 ns = 5734.4 cycles → 5735.
+        let mut l = PcieLink::new(16.0);
+        assert_eq!(l.transfer_h2d(16, Cycle::ZERO), Cycle(5735));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        let _ = PcieLink::new(0.0);
+    }
+}

@@ -1,0 +1,694 @@
+//! The 23 Table II benchmarks as synthetic access-stream generators.
+//!
+//! Each constructor returns a [`WorkloadSpec`] whose phases reproduce
+//! the *policy-visible* behaviour of the real benchmark: footprint
+//! (Table II), pattern type (Table II), and the specific traits the
+//! paper calls out — NW's stride-2 and MVT/BIC's stride-4 touch
+//! patterns (§IV-C), MVT/BIC's transposed sweeps that crash the naïve
+//! baseline (Fig. 4), BFS/HWL's slowly-populating chunks (Fig. 7
+//! discussion), and the cyclic sweeps of the Type IV thrashers where
+//! MRU-family eviction shines.
+//!
+//! Phase ranges are expressed in fractions of the (scaled) footprint so
+//! every spec works at any scale.
+
+use crate::phase::Phase;
+use crate::spec::WorkloadSpec;
+use crate::types::PatternType;
+
+fn frac(pages: u64, num: u64, den: u64) -> u64 {
+    ((pages * num) / den).max(1)
+}
+
+// ---------------------------------------------------------------- Type I
+
+/// `hotspot` (Rodinia, 12 MB, Type I): stencil over a temperature grid,
+/// instruction-limited in the paper's runs — effectively one streaming
+/// pass plus a short second iteration.
+#[must_use]
+pub fn hot() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "hotspot",
+        abbr: "HOT",
+        suite: "Rodinia",
+        footprint_mb: 12.0,
+        pattern: PatternType::Streaming,
+        seed: 0x401,
+        build: |pages| {
+            vec![
+                Phase::Seq { start: 0, len: pages, passes: 1, compute: 700 },
+                Phase::Seq { start: 0, len: frac(pages, 1, 4), passes: 1, compute: 700 },
+            ]
+        },
+    }
+}
+
+/// `leukocyte` (Rodinia, 5.6 MB, Type I): per-frame streaming with a
+/// small cyclic tail — the paper notes LEU nonetheless favours MRU
+/// (Table IV shows nonzero untouch levels).
+#[must_use]
+pub fn leu() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "leukocyte",
+        abbr: "LEU",
+        suite: "Rodinia",
+        footprint_mb: 5.6,
+        pattern: PatternType::Streaming,
+        seed: 0x402,
+        build: |pages| {
+            vec![Phase::Seq { start: 0, len: pages, passes: 3, compute: 900 }]
+        },
+    }
+}
+
+/// `2DCONV` (Polybench, 128 MB, Type I): pure streaming convolution.
+#[must_use]
+pub fn twodc() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "2DCONV",
+        abbr: "2DC",
+        suite: "Polybench",
+        footprint_mb: 128.0,
+        pattern: PatternType::Streaming,
+        seed: 0x403,
+        build: |pages| {
+            vec![Phase::Seq { start: 0, len: pages, passes: 1, compute: 500 }]
+        },
+    }
+}
+
+/// `3DCONV` (Polybench, 127.5 MB, Type I): streaming 3-D convolution.
+#[must_use]
+pub fn threedc() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "3DCONV",
+        abbr: "3DC",
+        suite: "Polybench",
+        footprint_mb: 127.5,
+        pattern: PatternType::Streaming,
+        seed: 0x404,
+        build: |pages| {
+            vec![Phase::Seq { start: 0, len: pages, passes: 1, compute: 600 }]
+        },
+    }
+}
+
+// --------------------------------------------------------------- Type II
+
+/// `backprop` (Rodinia, 9 MB, Type II): forward stream plus re-visited
+/// weight region.
+#[must_use]
+pub fn bkp() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "backprop",
+        abbr: "BKP",
+        suite: "Rodinia",
+        footprint_mb: 9.0,
+        pattern: PatternType::PartlyRepetitive,
+        seed: 0x405,
+        build: |pages| {
+            vec![
+                Phase::Seq { start: 0, len: pages, passes: 1, compute: 600 },
+                Phase::Seq { start: 0, len: frac(pages, 1, 3), passes: 2, compute: 600 },
+            ]
+        },
+    }
+}
+
+/// `pathfinder` (Rodinia, 38.5 MB, Type II): row-wise dynamic
+/// programming — streaming with a strided revisit that leaves
+/// half-populated chunks (Tables III/IV show moderate untouch levels).
+#[must_use]
+pub fn pat() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "pathfinder",
+        abbr: "PAT",
+        suite: "Rodinia",
+        footprint_mb: 38.5,
+        pattern: PatternType::PartlyRepetitive,
+        seed: 0x406,
+        build: |pages| {
+            vec![
+                Phase::Strided { start: 0, len: pages, stride: 2, passes: 3, compute: 500 },
+                Phase::Seq { start: 0, len: pages, passes: 1, compute: 500 },
+                Phase::Seq { start: 0, len: frac(pages, 1, 2), passes: 1, compute: 500 },
+            ]
+        },
+    }
+}
+
+/// `dwt2d` (Rodinia, 27 MB, Type II): wavelet pyramid — full pass, then
+/// passes over successively halved regions.
+#[must_use]
+pub fn dwt() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "dwt2d",
+        abbr: "DWT",
+        suite: "Rodinia",
+        footprint_mb: 27.0,
+        pattern: PatternType::PartlyRepetitive,
+        seed: 0x407,
+        build: |pages| {
+            vec![
+                Phase::Strided { start: 0, len: pages, stride: 3, passes: 2, compute: 500 },
+                Phase::Seq { start: 0, len: pages, passes: 1, compute: 500 },
+                Phase::Seq { start: 0, len: frac(pages, 1, 2), passes: 1, compute: 500 },
+                Phase::Seq { start: 0, len: frac(pages, 1, 4), passes: 1, compute: 500 },
+            ]
+        },
+    }
+}
+
+/// `kmeans` (Rodinia, 130 MB, Type II): feature matrix re-streamed per
+/// iteration with a sparse (strided) access to the transposed features —
+/// the source of its high untouch levels (Table III: 58–70).
+#[must_use]
+pub fn kmn() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "kmeans",
+        abbr: "KMN",
+        suite: "Rodinia",
+        footprint_mb: 130.0,
+        pattern: PatternType::PartlyRepetitive,
+        seed: 0x408,
+        build: |pages| {
+            // "Medium-Untouch: ... around half pages receiving no
+            // touches" — stride-2 sweeps put KMN exactly there.
+            vec![
+                Phase::Strided { start: 0, len: pages, stride: 2, passes: 3, compute: 400 },
+                Phase::Seq { start: 0, len: frac(pages, 1, 4), passes: 1, compute: 400 },
+            ]
+        },
+    }
+}
+
+// -------------------------------------------------------------- Type III
+
+/// `sad` (Parboil, 8.5 MB, Type III): repeated sweeps whose parity
+/// alternates, so no *stable* intra-chunk pattern manifests — the reason
+/// CPPE cannot beat disable-on-full here (§VI-B) and prefetching once
+/// memory is full costs an order of magnitude more evictions (Fig. 4).
+#[must_use]
+pub fn sad() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "sad",
+        abbr: "SAD",
+        suite: "Parboil",
+        footprint_mb: 8.5,
+        pattern: PatternType::MostlyRepetitive,
+        seed: 0x409,
+        build: |pages| {
+            vec![
+                Phase::Strided { start: 0, len: pages, stride: 2, passes: 2, compute: 300 },
+                Phase::Strided { start: 1, len: pages - 1, stride: 2, passes: 2, compute: 300 },
+                Phase::Strided { start: 0, len: pages, stride: 2, passes: 2, compute: 300 },
+                Phase::Strided { start: 1, len: pages - 1, stride: 2, passes: 2, compute: 300 },
+                Phase::Seq { start: 0, len: pages, passes: 1, compute: 300 },
+            ]
+        },
+    }
+}
+
+/// `nw` (Rodinia, 32 MB, Type III): Needleman–Wunsch — the paper's
+/// stride-2 example (§IV-C): a stable every-other-page touch pattern
+/// swept repeatedly.
+#[must_use]
+pub fn nw() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "nw",
+        abbr: "NW",
+        suite: "Rodinia",
+        footprint_mb: 32.0,
+        pattern: PatternType::MostlyRepetitive,
+        seed: 0x40a,
+        build: |pages| {
+            vec![
+                Phase::Strided { start: 0, len: pages, stride: 2, passes: 4, compute: 300 },
+                Phase::Seq { start: 0, len: frac(pages, 1, 4), passes: 1, compute: 300 },
+            ]
+        },
+    }
+}
+
+/// `bfs` (Rodinia, 37.2 MB, Type III): frontier-driven random access —
+/// chunks need many intervals to fully populate, which favours deletion
+/// Scheme-1 (Fig. 7 discussion).
+#[must_use]
+pub fn bfs() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "bfs",
+        abbr: "BFS",
+        suite: "Rodinia",
+        footprint_mb: 37.2,
+        pattern: PatternType::MostlyRepetitive,
+        seed: 0x40b,
+        build: |pages| {
+            let half = frac(pages, 1, 2);
+            vec![
+                Phase::Random { start: 0, len: pages, count: frac(pages, 1, 8), compute: 250 },
+                Phase::Seq { start: 0, len: pages, passes: 1, compute: 250 },
+                Phase::Random { start: 0, len: half, count: half / 2, compute: 250 },
+                Phase::Seq { start: 0, len: pages, passes: 1, compute: 250 },
+                Phase::Random { start: half, len: pages - half, count: half / 2, compute: 250 },
+            ]
+        },
+    }
+}
+
+/// `MVT` (Polybench, 64.1 MB, Type III): the paper's stride-4 example
+/// (§IV-C): during each period "only a portion of pages with a fixed
+/// stride (stride of 4 in MVT) are touched". Re-swept stride-4 walks
+/// under whole-chunk prefetch waste 12 of 16 pages per migration —
+/// effective capacity drops 4×, the eviction storm never ends, and the
+/// naïve baseline *crashes* (Fig. 4). The pattern buffer learns the
+/// stride and prefetches only the 4 touched pages.
+#[must_use]
+pub fn mvt() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "MVT",
+        abbr: "MVT",
+        suite: "Polybench",
+        footprint_mb: 64.1,
+        pattern: PatternType::MostlyRepetitive,
+        seed: 0x40c,
+        build: |pages| {
+            vec![
+                Phase::Strided { start: 0, len: pages, stride: 4, passes: 5, compute: 250 },
+                Phase::Strided { start: 1, len: pages - 1, stride: 4, passes: 2, compute: 250 },
+            ]
+        },
+    }
+}
+
+/// `BICG` (Polybench, 64.1 MB, Type III): BiCG's paired `A`/`Aᵀ`
+/// products — the same stable stride-4 structure as MVT (also crashes
+/// the naïve baseline in Fig. 4).
+#[must_use]
+pub fn bic() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "BICG",
+        abbr: "BIC",
+        suite: "Polybench",
+        footprint_mb: 64.1,
+        pattern: PatternType::MostlyRepetitive,
+        seed: 0x40d,
+        build: |pages| {
+            vec![
+                Phase::Strided { start: 0, len: pages, stride: 4, passes: 4, compute: 250 },
+                Phase::Strided { start: 2, len: pages - 2, stride: 4, passes: 3, compute: 250 },
+            ]
+        },
+    }
+}
+
+// --------------------------------------------------------------- Type IV
+
+/// `srad_v2` (Rodinia, 96 MB, Type IV): iterative diffusion — cyclic
+/// full-footprint sweeps, the canonical LRU-thrashing pattern.
+#[must_use]
+pub fn srd() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "srad_v2",
+        abbr: "SRD",
+        suite: "Rodinia",
+        footprint_mb: 96.0,
+        pattern: PatternType::Thrashing,
+        seed: 0x40e,
+        build: |pages| {
+            vec![Phase::Seq { start: 0, len: pages, passes: 4, compute: 450 }]
+        },
+    }
+}
+
+/// `hotspot3D` (Rodinia, 24 MB, Type IV): iterative 3-D stencil —
+/// cyclic sweeps.
+#[must_use]
+pub fn hsd() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "hotspot3D",
+        abbr: "HSD",
+        suite: "Rodinia",
+        footprint_mb: 24.0,
+        pattern: PatternType::Thrashing,
+        seed: 0x40f,
+        build: |pages| {
+            vec![Phase::Seq { start: 0, len: pages, passes: 6, compute: 400 }]
+        },
+    }
+}
+
+/// `mri-q` (Parboil, 5 MB, Type IV): cyclic sweeps over a small
+/// footprint; the small chain makes MHPE's forward distance keep
+/// adjusting on wrong evictions, which is why CPPE shows no benefit
+/// here (§VI-B).
+#[must_use]
+pub fn mrq() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "mri-q",
+        abbr: "MRQ",
+        suite: "Parboil",
+        footprint_mb: 5.0,
+        pattern: PatternType::Thrashing,
+        seed: 0x410,
+        build: |pages| {
+            vec![Phase::Seq { start: 0, len: pages, passes: 8, compute: 350 }]
+        },
+    }
+}
+
+/// `stencil` (Parboil, 4 MB, Type IV): iterative stencil, cyclic sweeps.
+#[must_use]
+pub fn stn() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "stencil",
+        abbr: "STN",
+        suite: "Parboil",
+        footprint_mb: 4.0,
+        pattern: PatternType::Thrashing,
+        seed: 0x411,
+        build: |pages| {
+            vec![Phase::Seq { start: 0, len: pages, passes: 10, compute: 350 }]
+        },
+    }
+}
+
+// ---------------------------------------------------------------- Type V
+
+/// `heartwall` (Rodinia, 40.7 MB, Type V): cyclic sweeps over the frame
+/// buffer plus random accesses to tracking state — chunks populate
+/// slowly (favours Scheme-1, Fig. 7).
+#[must_use]
+pub fn hwl() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "heartwall",
+        abbr: "HWL",
+        suite: "Rodinia",
+        footprint_mb: 40.7,
+        pattern: PatternType::RepetitiveThrashing,
+        seed: 0x412,
+        build: |pages| {
+            let frames = frac(pages, 2, 3);
+            vec![
+                Phase::Seq { start: 0, len: frames, passes: 3, compute: 400 },
+                Phase::Random { start: frames, len: pages - frames, count: frac(pages, 1, 2), compute: 400 },
+                Phase::Seq { start: 0, len: frames, passes: 1, compute: 400 },
+            ]
+        },
+    }
+}
+
+/// `sgemm` (Parboil, 12 MB, Type V): tiled GEMM — the A panel is
+/// re-swept while B/C stream.
+#[must_use]
+pub fn sgm() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "sgemm",
+        abbr: "SGM",
+        suite: "Parboil",
+        footprint_mb: 12.0,
+        pattern: PatternType::RepetitiveThrashing,
+        seed: 0x413,
+        build: |pages| {
+            let third = frac(pages, 1, 3);
+            vec![
+                Phase::Seq { start: 0, len: pages, passes: 3, compute: 350 },
+                Phase::Seq { start: 0, len: third, passes: 2, compute: 350 },
+            ]
+        },
+    }
+}
+
+/// `histo` (Parboil, 13.2 MB, Type V): streamed input plus strided bin
+/// updates with a *stable* stride — the pattern Scheme-2 retains
+/// (Fig. 7).
+#[must_use]
+pub fn his() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "histo",
+        abbr: "HIS",
+        suite: "Parboil",
+        footprint_mb: 13.2,
+        pattern: PatternType::RepetitiveThrashing,
+        seed: 0x414,
+        build: |pages| {
+            let half = frac(pages, 1, 2);
+            vec![
+                Phase::Seq { start: 0, len: half, passes: 2, compute: 350 },
+                Phase::Strided { start: 0, len: pages, stride: 4, passes: 4, compute: 350 },
+            ]
+        },
+    }
+}
+
+/// `spmv` (Parboil, 27.3 MB, Type V): sparse gathers over the matrix
+/// region plus cyclic vector sweeps.
+#[must_use]
+pub fn spv() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "spmv",
+        abbr: "SPV",
+        suite: "Parboil",
+        footprint_mb: 27.3,
+        pattern: PatternType::RepetitiveThrashing,
+        seed: 0x415,
+        build: |pages| {
+            let two_thirds = frac(pages, 2, 3);
+            vec![
+                Phase::Seq { start: 0, len: two_thirds, passes: 2, compute: 300 },
+                Phase::Random { start: two_thirds, len: pages - two_thirds, count: pages, compute: 300 },
+                Phase::Seq { start: 0, len: two_thirds, passes: 1, compute: 300 },
+            ]
+        },
+    }
+}
+
+// --------------------------------------------------------------- Type VI
+
+/// `b+tree` (Rodinia, 34.7 MB, Type VI): query batches walk a region
+/// that moves through the tree — a drifting working set that plain LRU
+/// handles well and reserved LRU penalizes (Fig. 3: up to −53 %).
+#[must_use]
+pub fn bpt() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "b+tree",
+        abbr: "B+T",
+        suite: "Rodinia",
+        footprint_mb: 34.7,
+        pattern: PatternType::RegionMoving,
+        seed: 0x416,
+        build: |pages| {
+            let window = frac(pages, 2, 5);
+            vec![Phase::MovingWindow {
+                start: 0,
+                len: pages,
+                window,
+                step: (window / 2).max(1),
+                reps: 3,
+                stride: 3,
+                compute: 300,
+            }]
+        },
+    }
+}
+
+/// `hybridsort` (Rodinia, 104 MB, Type VI): bucket-by-bucket sorting —
+/// the active bucket region drifts across the footprint.
+#[must_use]
+pub fn hyb() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "hybridsort",
+        abbr: "HYB",
+        suite: "Rodinia",
+        footprint_mb: 104.0,
+        pattern: PatternType::RegionMoving,
+        seed: 0x417,
+        build: |pages| {
+            let window = frac(pages, 1, 8);
+            vec![
+                Phase::MovingWindow {
+                    start: 0,
+                    len: pages,
+                    window,
+                    step: window,
+                    reps: 2,
+                    stride: 1,
+                    compute: 300,
+                },
+                Phase::Seq { start: 0, len: pages, passes: 1, compute: 300 },
+            ]
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprints_match_table2() {
+        assert_eq!(hot().footprint_mb, 12.0);
+        assert_eq!(leu().footprint_mb, 5.6);
+        assert_eq!(twodc().footprint_mb, 128.0);
+        assert_eq!(threedc().footprint_mb, 127.5);
+        assert_eq!(bkp().footprint_mb, 9.0);
+        assert_eq!(pat().footprint_mb, 38.5);
+        assert_eq!(dwt().footprint_mb, 27.0);
+        assert_eq!(kmn().footprint_mb, 130.0);
+        assert_eq!(sad().footprint_mb, 8.5);
+        assert_eq!(nw().footprint_mb, 32.0);
+        assert_eq!(bfs().footprint_mb, 37.2);
+        assert_eq!(mvt().footprint_mb, 64.1);
+        assert_eq!(bic().footprint_mb, 64.1);
+        assert_eq!(srd().footprint_mb, 96.0);
+        assert_eq!(hsd().footprint_mb, 24.0);
+        assert_eq!(mrq().footprint_mb, 5.0);
+        assert_eq!(stn().footprint_mb, 4.0);
+        assert_eq!(hwl().footprint_mb, 40.7);
+        assert_eq!(sgm().footprint_mb, 12.0);
+        assert_eq!(his().footprint_mb, 13.2);
+        assert_eq!(spv().footprint_mb, 27.3);
+        assert_eq!(bpt().footprint_mb, 34.7);
+        assert_eq!(hyb().footprint_mb, 104.0);
+    }
+
+    #[test]
+    fn nw_touches_only_even_pages_first_phase() {
+        let w = nw();
+        let steps = w.lane_stream(0, 1, 0.25);
+        let strided_len = steps.len() - (w.pages(0.25) / 4).max(1) as usize;
+        assert!(steps[..strided_len].iter().all(|s| s.page.0 % 2 == 0));
+    }
+
+    #[test]
+    fn mvt_is_stride_4() {
+        let w = mvt();
+        let phases = w.phases(0.25);
+        let Phase::Strided { stride, .. } = phases[0] else {
+            panic!("expected strided phase");
+        };
+        assert_eq!(stride, 4, "paper §IV-C: stride of 4 in MVT");
+        let steps = w.lane_stream(0, 1, 0.25);
+        assert!(!steps.is_empty());
+    }
+
+    #[test]
+    fn type4_apps_are_pure_cyclic_sweeps() {
+        for w in [srd(), hsd(), mrq(), stn()] {
+            let phases = w.phases(0.5);
+            assert_eq!(phases.len(), 1, "{}", w.abbr);
+            let Phase::Seq { passes, len, .. } = phases[0] else {
+                panic!("{} should be a Seq sweep", w.abbr);
+            };
+            assert!(passes >= 4, "{} needs cyclic re-reference", w.abbr);
+            assert_eq!(len, w.pages(0.5));
+        }
+    }
+
+    #[test]
+    fn streams_stay_inside_footprint() {
+        for w in [
+            hot(), leu(), twodc(), threedc(), bkp(), pat(), dwt(), kmn(),
+            sad(), nw(), bfs(), mvt(), bic(), srd(), hsd(), mrq(), stn(),
+            hwl(), sgm(), his(), spv(), bpt(), hyb(),
+        ] {
+            for scale in [0.25, 0.5, 1.0] {
+                let pages = w.pages(scale);
+                assert!(
+                    w.max_page(scale) < pages,
+                    "{} at scale {scale}: max page {} >= footprint {pages}",
+                    w.abbr,
+                    w.max_page(scale)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn his_bins_are_stride_4() {
+        let w = his();
+        let phases = w.phases(0.5);
+        let Phase::Strided { stride, passes, .. } = phases[1] else {
+            panic!("HIS phase 2 should be strided bins");
+        };
+        assert_eq!(stride, 4);
+        assert!(passes >= 3, "the stable stride must repeat for Scheme-2");
+    }
+
+    #[test]
+    fn bpt_moves_a_sparse_window() {
+        let w = bpt();
+        let phases = w.phases(0.5);
+        let Phase::MovingWindow { stride, window, step, .. } = phases[0] else {
+            panic!("B+T should be a moving window");
+        };
+        assert!(stride > 1, "B+T touches the window sparsely (Table III)");
+        assert!(step <= window, "query regions overlap as they advance");
+    }
+
+    #[test]
+    fn hyb_windows_are_dense_and_drift() {
+        let w = hyb();
+        let phases = w.phases(0.5);
+        let Phase::MovingWindow { stride, .. } = phases[0] else {
+            panic!("HYB starts with the bucket sort windows");
+        };
+        assert_eq!(stride, 1, "sort buckets are touched densely");
+        assert!(matches!(phases[1], Phase::Seq { .. }), "merge scan follows");
+    }
+
+    #[test]
+    fn bfs_leads_with_a_sparse_frontier() {
+        let w = bfs();
+        let phases = w.phases(0.5);
+        let Phase::Random { count, len, .. } = phases[0] else {
+            panic!("BFS starts from a sparse random frontier");
+        };
+        assert!(count * 4 <= len, "frontier phase must be sparse");
+    }
+
+    #[test]
+    fn streaming_apps_touch_each_page_once() {
+        for w in [twodc(), threedc()] {
+            let lanes = 8;
+            let mut counts = std::collections::HashMap::new();
+            for l in 0..lanes {
+                for s in w.lane_stream(l, lanes, 0.25) {
+                    *counts.entry(s.page.0).or_insert(0u32) += 1;
+                }
+            }
+            assert!(
+                counts.values().all(|&c| c == 1),
+                "{}: streaming pages must be touched exactly once",
+                w.abbr
+            );
+            assert_eq!(counts.len() as u64, w.pages(0.25));
+        }
+    }
+
+    #[test]
+    fn type4_passes_cover_footprint_each_time() {
+        let w = stn();
+        let lanes = 4;
+        let pages = w.pages(0.25);
+        // Union of all lanes' first segments must cover the footprint.
+        let mut first_pass = std::collections::HashSet::new();
+        for l in 0..lanes {
+            if let Some(seg) = w.phases(0.25)[0].lane_segments(l, lanes, 0).first() {
+                first_pass.extend(seg.iter().copied());
+            }
+        }
+        assert_eq!(first_pass.len() as u64, pages);
+    }
+
+    #[test]
+    fn every_lane_stream_nonempty_at_modest_lane_counts() {
+        for w in [stn(), mrq(), leu()] {
+            // Even the smallest footprints keep 32 lanes busy.
+            let lanes = 32;
+            let nonempty = (0..lanes)
+                .filter(|&l| !w.lane_stream(l, lanes, 0.25).is_empty())
+                .count();
+            assert!(nonempty >= lanes / 2, "{}: {nonempty} lanes busy", w.abbr);
+        }
+    }
+}

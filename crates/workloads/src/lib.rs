@@ -1,0 +1,29 @@
+//! # workloads — synthetic Table II benchmarks
+//!
+//! Synthetic access-stream generators standing in for the 23 Rodinia /
+//! Parboil / Polybench CUDA applications the paper evaluates (we cannot
+//! run CUDA binaries inside a Rust reproduction — see the substitution
+//! table in DESIGN.md). Each generator preserves the policy-visible
+//! surface of its benchmark: footprint (Table II), access-pattern type
+//! (Table II), stride structure (NW stride-2, MVT/BIC stride-4 /
+//! transposed sweeps), re-reference behaviour and irregularity.
+//!
+//! * [`types`] — [`PatternType`] (the six-type taxonomy) and
+//!   [`AccessStep`],
+//! * [`phase`] — composable kernel phases (sequential / strided /
+//!   random / transposed / moving-window),
+//! * [`spec`] — [`WorkloadSpec`] with footprint scaling,
+//! * [`apps`] — the 23 benchmark constructors,
+//! * [`registry`] — lookup by abbreviation or pattern type,
+//! * [`trace`] — record/replay of lane streams (bring your own traces).
+
+pub mod apps;
+pub mod phase;
+pub mod registry;
+pub mod spec;
+pub mod trace;
+pub mod types;
+
+pub use phase::Phase;
+pub use spec::WorkloadSpec;
+pub use types::{AccessStep, LaneItem, PatternType};

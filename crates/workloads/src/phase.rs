@@ -1,0 +1,550 @@
+//! Composable kernel phases.
+//!
+//! Each benchmark is modelled as a sequence of [`Phase`]s — one per GPU
+//! kernel (or kernel family). A phase describes how the lanes (SM warp
+//! slots) traverse a page range; [`Phase::lane_pages`] expands it into
+//! the concrete page sequence one lane issues. Phases are the
+//! policy-visible surface of the real benchmarks: sequential sweeps,
+//! strided sweeps (NW's stride-2, MVT's stride-4), transposed matrix
+//! walks, uniform random access and moving working-set windows.
+
+use crate::types::AccessStep;
+use gmmu::types::VirtPage;
+use sim_core::rng::Xoshiro256ss;
+
+/// One kernel phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Lanes partition `[start, start+len)` contiguously; each lane
+    /// sweeps its slice sequentially, `passes` times. `passes == 1` is
+    /// pure streaming; `passes > 1` over an oversubscribed range is the
+    /// canonical thrashing pattern.
+    Seq {
+        /// First page.
+        start: u64,
+        /// Pages in the range.
+        len: u64,
+        /// Sweeps over the range.
+        passes: u32,
+        /// Compute cycles per access.
+        compute: u32,
+    },
+    /// Like [`Phase::Seq`] but only pages at multiples of `stride` are
+    /// touched (NW: 2, MVT/BIC rows: 4).
+    Strided {
+        /// First page.
+        start: u64,
+        /// Pages in the range.
+        len: u64,
+        /// Page stride.
+        stride: u64,
+        /// Sweeps.
+        passes: u32,
+        /// Compute cycles per access.
+        compute: u32,
+    },
+    /// `count` accesses (total, across lanes) uniform over the range —
+    /// BFS frontiers, SPV gathers, HIS bins.
+    Random {
+        /// First page.
+        start: u64,
+        /// Pages in the range.
+        len: u64,
+        /// Total accesses across all lanes.
+        count: u64,
+        /// Compute cycles per access.
+        compute: u32,
+    },
+    /// `count` accesses (total) Zipf-distributed over the range with
+    /// exponent `alpha_milli / 1000` — skewed-popularity patterns
+    /// (graph degree distributions, key-value hot sets). Hot ranks are
+    /// scattered across the range by a multiplicative hash so popular
+    /// pages do not all share a chunk.
+    Zipf {
+        /// First page.
+        start: u64,
+        /// Pages in the range.
+        len: u64,
+        /// Total accesses across all lanes.
+        count: u64,
+        /// Zipf exponent × 1000 (e.g. 1200 ⇒ α = 1.2).
+        alpha_milli: u32,
+        /// Compute cycles per access.
+        compute: u32,
+    },
+    /// A row-major `rows × cols` page matrix traversed column-major —
+    /// every consecutive access jumps `cols` pages (MVT/BIC's
+    /// transposed sweep). Lanes partition the columns.
+    Transposed {
+        /// First page.
+        start: u64,
+        /// Matrix rows (pages per column walk).
+        rows: u64,
+        /// Matrix columns (the jump distance).
+        cols: u64,
+        /// Full matrix sweeps.
+        passes: u32,
+        /// Compute cycles per access.
+        compute: u32,
+    },
+    /// A `window`-page working set that advances by `step` pages until
+    /// the range is exhausted; each position is swept `reps` times with
+    /// lanes partitioning the window (B+T, HYB). `stride > 1` touches
+    /// only every `stride`-th page of the window — B+tree queries visit
+    /// a sparse subset of the nodes in the active region, which is what
+    /// produces Table III's high untouch levels for B+T/HYB.
+    MovingWindow {
+        /// First page.
+        start: u64,
+        /// Pages in the range.
+        len: u64,
+        /// Working-set pages.
+        window: u64,
+        /// Advance per position.
+        step: u64,
+        /// Sweeps per position.
+        reps: u32,
+        /// Page stride within the window (1 = dense).
+        stride: u64,
+        /// Compute cycles per access.
+        compute: u32,
+    },
+}
+
+/// Contiguous slice of `len` items assigned to `lane` out of `lanes`.
+/// Returns `(offset, count)`; lanes beyond the data get empty slices.
+#[must_use]
+pub fn lane_slice(len: u64, lane: usize, lanes: usize) -> (u64, u64) {
+    let lanes = lanes.max(1) as u64;
+    let lane = lane as u64;
+    let base = len / lanes;
+    let rem = len % lanes;
+    let count = base + u64::from(lane < rem);
+    let offset = lane * base + lane.min(rem);
+    (offset, count)
+}
+
+/// Work-distribution block: 16 items, matching the size of a chunk.
+/// GPU thread blocks are dispatched in order, so at any instant the
+/// active blocks cover a contiguous, sliding window of the data. Lanes
+/// therefore take *blocks* round-robin (`lane, lane+L, lane+2L, ...`)
+/// rather than large static slices — this is what makes a multi-lane
+/// re-swept range behave as one global cyclic front, the pattern the
+/// MRU-family eviction policies exploit.
+pub const LANE_BLOCK: u64 = 16;
+
+/// Indices (into an item list of length `len`) that `lane` of `lanes`
+/// processes in one pass, block-cyclic with [`LANE_BLOCK`]-sized blocks.
+/// `rot` rotates block ownership (pass number): each kernel relaunch
+/// maps thread blocks to SMs afresh, so the same lane does not own the
+/// same data blocks every pass.
+fn lane_blocks_rot(len: u64, lane: usize, lanes: usize, rot: u64) -> impl Iterator<Item = u64> {
+    let lanes = lanes.max(1) as u64;
+    let lane = lane as u64;
+    let nblocks = len.div_ceil(LANE_BLOCK);
+    (0..nblocks)
+        .filter(move |b| (b + rot) % lanes == lane)
+        .flat_map(move |b| b * LANE_BLOCK..((b + 1) * LANE_BLOCK).min(len))
+}
+
+impl Phase {
+    /// Compute cycles per access in this phase.
+    #[must_use]
+    pub fn compute(&self) -> u32 {
+        match *self {
+            Phase::Seq { compute, .. }
+            | Phase::Strided { compute, .. }
+            | Phase::Random { compute, .. }
+            | Phase::Zipf { compute, .. }
+            | Phase::Transposed { compute, .. }
+            | Phase::MovingWindow { compute, .. } => compute,
+        }
+    }
+
+    /// The page sequence of `lane` split into *segments*: one segment per
+    /// kernel launch (a pass of a sweep, a window position of a moving
+    /// window). The simulator places a global barrier between segments —
+    /// iterative GPU applications relaunch their kernel per iteration,
+    /// which synchronizes all SMs at the sweep boundary.
+    #[must_use]
+    pub fn lane_segments(&self, lane: usize, lanes: usize, seed: u64) -> Vec<Vec<u64>> {
+        match *self {
+            Phase::Seq {
+                start,
+                len,
+                passes,
+                ..
+            } => (0..passes)
+                .map(|p| {
+                    lane_blocks_rot(len, lane, lanes, p as u64)
+                        .map(|i| start + i)
+                        .collect()
+                })
+                .collect(),
+            Phase::Strided {
+                start,
+                len,
+                stride,
+                passes,
+                ..
+            } => {
+                let strided: Vec<u64> =
+                    (start..start + len).step_by(stride.max(1) as usize).collect();
+                (0..passes)
+                    .map(|p| {
+                        lane_blocks_rot(strided.len() as u64, lane, lanes, p as u64)
+                            .map(|i| strided[i as usize])
+                            .collect()
+                    })
+                    .collect()
+            }
+            Phase::Random {
+                start, len, count, ..
+            } => {
+                let (_, cnt) = lane_slice(count, lane, lanes);
+                let mut rng = Xoshiro256ss::new(seed ^ (lane as u64).wrapping_mul(0x9E37));
+                vec![(0..cnt).map(|_| start + rng.gen_range(len.max(1))).collect()]
+            }
+            Phase::Zipf {
+                start,
+                len,
+                count,
+                alpha_milli,
+                ..
+            } => {
+                let (_, cnt) = lane_slice(count, lane, lanes);
+                let mut rng = Xoshiro256ss::new(seed ^ (lane as u64).wrapping_mul(0x517c));
+                let n = len.max(1);
+                let alpha = f64::from(alpha_milli) / 1000.0;
+                vec![(0..cnt)
+                    .map(|_| {
+                        let rank = rng.gen_zipf(n, alpha) - 1;
+                        // Scatter hot ranks across the range (odd
+                        // multiplier is a bijection mod 2^64, reduced
+                        // into the range by modulo).
+                        start + rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % n
+                    })
+                    .collect()]
+            }
+            Phase::Transposed {
+                start,
+                rows,
+                cols,
+                passes,
+                ..
+            } => {
+                let lanes64 = lanes.max(1) as u64;
+                (0..passes)
+                    .map(|p| {
+                        let mut seg = Vec::new();
+                        for c in (0..cols)
+                            .filter(|c| (c + u64::from(p)) % lanes64 == lane as u64)
+                        {
+                            for r in 0..rows {
+                                seg.push(start + r * cols + c);
+                            }
+                        }
+                        seg
+                    })
+                    .collect()
+            }
+            Phase::MovingWindow {
+                start,
+                len,
+                window,
+                step,
+                reps,
+                stride,
+                ..
+            } => {
+                let mut segs = Vec::new();
+                let mut pos = 0u64;
+                let window = window.max(1);
+                let step = step.max(1);
+                let stride = stride.max(1);
+                while pos < len {
+                    let w = window.min(len - pos);
+                    let touched: Vec<u64> =
+                        (0..w).step_by(stride as usize).collect();
+                    for rep in 0..reps {
+                        segs.push(
+                            lane_blocks_rot(touched.len() as u64, lane, lanes, u64::from(rep))
+                                .map(|i| start + pos + touched[i as usize])
+                                .collect(),
+                        );
+                    }
+                    pos += step;
+                }
+                segs
+            }
+        }
+    }
+
+    /// The flattened page sequence `lane` (of `lanes`) issues for this
+    /// phase (segments concatenated). `seed` feeds random phases.
+    #[must_use]
+    pub fn lane_pages(&self, lane: usize, lanes: usize, seed: u64) -> Vec<u64> {
+        self.lane_segments(lane, lanes, seed).concat()
+    }
+
+    /// Expand into [`AccessStep`]s for a lane.
+    pub fn lane_steps(&self, lane: usize, lanes: usize, seed: u64) -> Vec<AccessStep> {
+        let compute = self.compute();
+        self.lane_pages(lane, lanes, seed)
+            .into_iter()
+            .map(|p| AccessStep {
+                page: VirtPage(p),
+                compute,
+            })
+            .collect()
+    }
+
+    /// Total accesses this phase issues across all lanes (for sizing).
+    #[must_use]
+    pub fn total_accesses(&self, lanes: usize) -> u64 {
+        (0..lanes.max(1))
+            .map(|l| self.lane_pages(l, lanes, 0).len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_slice_partitions_exactly() {
+        for len in [0u64, 1, 7, 100, 113] {
+            for lanes in [1usize, 2, 7, 16] {
+                let mut total = 0;
+                let mut next = 0;
+                for lane in 0..lanes {
+                    let (off, cnt) = lane_slice(len, lane, lanes);
+                    assert_eq!(off, next, "slices contiguous");
+                    next = off + cnt;
+                    total += cnt;
+                }
+                assert_eq!(total, len);
+            }
+        }
+    }
+
+    #[test]
+    fn seq_single_lane_single_pass() {
+        let p = Phase::Seq {
+            start: 10,
+            len: 5,
+            passes: 1,
+            compute: 100,
+        };
+        assert_eq!(p.lane_pages(0, 1, 0), vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn seq_passes_repeat_cyclically() {
+        let p = Phase::Seq {
+            start: 0,
+            len: 3,
+            passes: 2,
+            compute: 0,
+        };
+        assert_eq!(p.lane_pages(0, 1, 0), vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn seq_lanes_take_blocks_round_robin() {
+        let p = Phase::Seq {
+            start: 0,
+            len: 64,
+            passes: 1,
+            compute: 0,
+        };
+        let a = p.lane_pages(0, 2, 0);
+        let b = p.lane_pages(1, 2, 0);
+        // Block-cyclic: lane 0 gets blocks 0 and 2, lane 1 blocks 1 and 3.
+        assert_eq!(a[..16], (0..16).collect::<Vec<u64>>()[..]);
+        assert_eq!(a[16..], (32..48).collect::<Vec<u64>>()[..]);
+        assert_eq!(b[..16], (16..32).collect::<Vec<u64>>()[..]);
+        assert_eq!(b[16..], (48..64).collect::<Vec<u64>>()[..]);
+        // Together they cover the range exactly once.
+        let mut all: Vec<u64> = a.into_iter().chain(b).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn seq_short_tail_block_clipped() {
+        let p = Phase::Seq {
+            start: 0,
+            len: 20,
+            passes: 1,
+            compute: 0,
+        };
+        let a = p.lane_pages(0, 2, 0);
+        let b = p.lane_pages(1, 2, 0);
+        assert_eq!(a.len() + b.len(), 20);
+        assert_eq!(b, (16..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn strided_touches_only_stride_multiples() {
+        let p = Phase::Strided {
+            start: 0,
+            len: 16,
+            stride: 4,
+            passes: 1,
+            compute: 0,
+        };
+        assert_eq!(p.lane_pages(0, 1, 0), vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn strided_stride2_matches_nw_pattern() {
+        let p = Phase::Strided {
+            start: 0,
+            len: 32,
+            stride: 2,
+            passes: 1,
+            compute: 0,
+        };
+        let pages = p.lane_pages(0, 1, 0);
+        assert!(pages.iter().all(|p| p % 2 == 0));
+        assert_eq!(pages.len(), 16);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let p = Phase::Random {
+            start: 100,
+            len: 50,
+            count: 1000,
+            compute: 0,
+        };
+        let a = p.lane_pages(3, 8, 42);
+        let b = p.lane_pages(3, 8, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&pg| (100..150).contains(&pg)));
+        let c = p.lane_pages(4, 8, 42);
+        assert_ne!(a, c, "lanes draw different streams");
+    }
+
+    #[test]
+    fn zipf_is_deterministic_skewed_and_in_range() {
+        let p = Phase::Zipf {
+            start: 100,
+            len: 200,
+            count: 4000,
+            alpha_milli: 1300,
+            compute: 0,
+        };
+        let a = p.lane_pages(0, 2, 9);
+        let b = p.lane_pages(0, 2, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2000);
+        assert!(a.iter().all(|&pg| (100..300).contains(&pg)));
+        // Skew: the most popular page must dominate a uniform share.
+        let mut counts = std::collections::HashMap::new();
+        for &pg in &a {
+            *counts.entry(pg).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 200, "hottest page only {max} of 2000 accesses");
+        assert_eq!(p.total_accesses(2), 4000);
+    }
+
+    #[test]
+    fn random_count_split_across_lanes() {
+        let p = Phase::Random {
+            start: 0,
+            len: 10,
+            count: 100,
+            compute: 0,
+        };
+        assert_eq!(p.total_accesses(8), 100);
+    }
+
+    #[test]
+    fn transposed_jumps_by_cols() {
+        let p = Phase::Transposed {
+            start: 0,
+            rows: 3,
+            cols: 4,
+            passes: 1,
+            compute: 0,
+        };
+        // Column 0 walk: pages 0, 4, 8 — stride = cols.
+        let pages = p.lane_pages(0, 1, 0);
+        assert_eq!(&pages[..3], &[0, 4, 8]);
+        assert_eq!(pages.len(), 12);
+    }
+
+    #[test]
+    fn moving_window_advances() {
+        let p = Phase::MovingWindow {
+            start: 0,
+            len: 6,
+            window: 2,
+            step: 2,
+            reps: 2,
+            stride: 1,
+            compute: 0,
+        };
+        // Windows [0,1], [2,3], [4,5], each swept twice.
+        assert_eq!(p.lane_pages(0, 1, 0), vec![0, 1, 0, 1, 2, 3, 2, 3, 4, 5, 4, 5]);
+    }
+
+    #[test]
+    fn moving_window_tail_clipped() {
+        let p = Phase::MovingWindow {
+            start: 0,
+            len: 5,
+            window: 3,
+            step: 3,
+            reps: 1,
+            stride: 1,
+            compute: 0,
+        };
+        assert_eq!(p.lane_pages(0, 1, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn moving_window_stride_touches_sparse_subset() {
+        let p = Phase::MovingWindow {
+            start: 0,
+            len: 12,
+            window: 6,
+            step: 6,
+            reps: 1,
+            stride: 3,
+            compute: 0,
+        };
+        // Window [0..6) touches 0, 3; window [6..12) touches 6, 9.
+        assert_eq!(p.lane_pages(0, 1, 0), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn steps_carry_compute() {
+        let p = Phase::Seq {
+            start: 0,
+            len: 2,
+            passes: 1,
+            compute: 777,
+        };
+        let steps = p.lane_steps(0, 1, 0);
+        assert_eq!(steps.len(), 2);
+        assert!(steps.iter().all(|s| s.compute == 777));
+        assert_eq!(steps[0].page, VirtPage(0));
+    }
+
+    #[test]
+    fn excess_lanes_get_empty_slices() {
+        let p = Phase::Seq {
+            start: 0,
+            len: 2,
+            passes: 1,
+            compute: 0,
+        };
+        assert!(p.lane_pages(5, 8, 0).is_empty());
+        assert_eq!(p.total_accesses(8), 2);
+    }
+}

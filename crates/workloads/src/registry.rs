@@ -1,0 +1,107 @@
+//! Benchmark registry.
+
+use crate::apps;
+use crate::spec::WorkloadSpec;
+use crate::types::PatternType;
+
+/// All 23 Table II benchmarks, in Table II order.
+#[must_use]
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        apps::hot(),
+        apps::leu(),
+        apps::twodc(),
+        apps::threedc(),
+        apps::bkp(),
+        apps::pat(),
+        apps::dwt(),
+        apps::kmn(),
+        apps::sad(),
+        apps::nw(),
+        apps::bfs(),
+        apps::mvt(),
+        apps::bic(),
+        apps::srd(),
+        apps::hsd(),
+        apps::mrq(),
+        apps::stn(),
+        apps::hwl(),
+        apps::sgm(),
+        apps::his(),
+        apps::spv(),
+        apps::bpt(),
+        apps::hyb(),
+    ]
+}
+
+/// Look a benchmark up by its Table II abbreviation (case-insensitive).
+#[must_use]
+pub fn by_abbr(abbr: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.abbr.eq_ignore_ascii_case(abbr))
+}
+
+/// All benchmarks of one pattern type, in Table II order.
+#[must_use]
+pub fn by_type(pattern: PatternType) -> Vec<WorkloadSpec> {
+    all().into_iter().filter(|w| w.pattern == pattern).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_23_benchmarks() {
+        assert_eq!(all().len(), 23);
+    }
+
+    #[test]
+    fn abbreviations_unique() {
+        let abbrs: std::collections::HashSet<_> = all().iter().map(|w| w.abbr).collect();
+        assert_eq!(abbrs.len(), 23);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(by_abbr("mvt").is_some());
+        assert!(by_abbr("MVT").is_some());
+        assert!(by_abbr("b+t").is_some());
+        assert!(by_abbr("nope").is_none());
+    }
+
+    #[test]
+    fn type_groups_match_table2() {
+        use PatternType::*;
+        let group = |p| {
+            by_type(p)
+                .iter()
+                .map(|w| w.abbr)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(group(Streaming), vec!["HOT", "LEU", "2DC", "3DC"]);
+        assert_eq!(group(PartlyRepetitive), vec!["BKP", "PAT", "DWT", "KMN"]);
+        assert_eq!(group(MostlyRepetitive), vec!["SAD", "NW", "BFS", "MVT", "BIC"]);
+        assert_eq!(group(Thrashing), vec!["SRD", "HSD", "MRQ", "STN"]);
+        assert_eq!(group(RepetitiveThrashing), vec!["HWL", "SGM", "HIS", "SPV"]);
+        assert_eq!(group(RegionMoving), vec!["B+T", "HYB"]);
+    }
+
+    #[test]
+    fn average_footprint_matches_paper() {
+        // Paper §V: "memory footprint ... vary from 4MB to 130MB with an
+        // average of 45MB".
+        let sizes: Vec<f64> = all().iter().map(|w| w.footprint_mb).collect();
+        let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        let avg = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        assert_eq!(min, 4.0);
+        assert_eq!(max, 130.0);
+        assert!((avg - 45.0).abs() < 2.5, "average footprint {avg:.1} MB");
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds: std::collections::HashSet<_> = all().iter().map(|w| w.seed).collect();
+        assert_eq!(seeds.len(), 23);
+    }
+}

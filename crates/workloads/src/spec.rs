@@ -1,0 +1,209 @@
+//! Workload specifications.
+//!
+//! A [`WorkloadSpec`] models one Table II benchmark: its name, suite,
+//! footprint and pattern type, plus a phase builder that expands the
+//! (possibly scaled) footprint into concrete [`Phase`]s. Scaling keeps
+//! the simulations fast while preserving every policy-relevant property
+//! (pattern shape, working-set-to-capacity ratio — capacity is always
+//! set relative to the *scaled* footprint).
+
+use crate::phase::Phase;
+use crate::types::{AccessStep, LaneItem, PatternType};
+use gmmu::types::PAGES_PER_CHUNK;
+
+/// Pages per MB (4 KB pages).
+pub const PAGES_PER_MB: f64 = 256.0;
+
+/// One benchmark.
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    /// Full benchmark name ("hotspot").
+    pub name: &'static str,
+    /// Table II abbreviation ("HOT").
+    pub abbr: &'static str,
+    /// Source suite ("Rodinia", "Parboil", "Polybench").
+    pub suite: &'static str,
+    /// Footprint in MB at scale 1.0 (Table II).
+    pub footprint_mb: f64,
+    /// Access-pattern type (Table II).
+    pub pattern: PatternType,
+    /// RNG seed for random phases.
+    pub seed: u64,
+    /// Phase builder: `pages` is the scaled footprint in pages.
+    pub build: fn(pages: u64) -> Vec<Phase>,
+}
+
+impl WorkloadSpec {
+    /// Scaled footprint in pages, rounded up to a whole chunk.
+    #[must_use]
+    pub fn pages(&self, scale: f64) -> u64 {
+        let raw = (self.footprint_mb * PAGES_PER_MB * scale).ceil() as u64;
+        raw.div_ceil(PAGES_PER_CHUNK) * PAGES_PER_CHUNK
+    }
+
+    /// The phase list at the given scale.
+    #[must_use]
+    pub fn phases(&self, scale: f64) -> Vec<Phase> {
+        (self.build)(self.pages(scale))
+    }
+
+    /// The access stream of one lane: all phases concatenated.
+    #[must_use]
+    pub fn lane_stream(&self, lane: usize, lanes: usize, scale: f64) -> Vec<AccessStep> {
+        let mut out = Vec::new();
+        for (i, phase) in self.phases(scale).iter().enumerate() {
+            out.extend(phase.lane_steps(lane, lanes, self.seed.wrapping_add(i as u64)));
+        }
+        out
+    }
+
+    /// The execution stream of one lane with kernel-launch barriers: one
+    /// barrier after every segment (pass / window position) of every
+    /// phase. All lanes produce the same barrier count.
+    #[must_use]
+    pub fn lane_items(&self, lane: usize, lanes: usize, scale: f64) -> Vec<LaneItem> {
+        let mut out = Vec::new();
+        for (i, phase) in self.phases(scale).iter().enumerate() {
+            let compute = phase.compute();
+            for seg in phase.lane_segments(lane, lanes, self.seed.wrapping_add(i as u64)) {
+                out.extend(seg.into_iter().map(|p| {
+                    LaneItem::Access(AccessStep {
+                        page: gmmu::types::VirtPage(p),
+                        compute,
+                    })
+                }));
+                out.push(LaneItem::Barrier);
+            }
+        }
+        out
+    }
+
+    /// Total accesses across all lanes (for sanity checks and reports).
+    #[must_use]
+    pub fn total_accesses(&self, lanes: usize, scale: f64) -> u64 {
+        self.phases(scale)
+            .iter()
+            .map(|p| p.total_accesses(lanes))
+            .sum()
+    }
+
+    /// Highest page number any phase can touch (must stay inside the
+    /// footprint; asserted by the registry tests).
+    #[must_use]
+    pub fn max_page(&self, scale: f64) -> u64 {
+        let mut max = 0u64;
+        for phase in self.phases(scale) {
+            let end = match phase {
+                Phase::Seq { start, len, .. }
+                | Phase::Strided { start, len, .. }
+                | Phase::Random { start, len, .. }
+                | Phase::Zipf { start, len, .. }
+                | Phase::MovingWindow { start, len, .. } => start + len,
+                Phase::Transposed {
+                    start, rows, cols, ..
+                } => start + rows * cols,
+            };
+            max = max.max(end);
+        }
+        max.saturating_sub(1)
+    }
+}
+
+impl std::fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadSpec")
+            .field("abbr", &self.abbr)
+            .field("footprint_mb", &self.footprint_mb)
+            .field("pattern", &self.pattern)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "toy",
+            abbr: "TOY",
+            suite: "none",
+            footprint_mb: 1.0, // 256 pages
+            pattern: PatternType::Streaming,
+            seed: 1,
+            build: |pages| {
+                vec![Phase::Seq {
+                    start: 0,
+                    len: pages,
+                    passes: 1,
+                    compute: 100,
+                }]
+            },
+        }
+    }
+
+    #[test]
+    fn pages_scale_and_align() {
+        let w = toy();
+        assert_eq!(w.pages(1.0), 256);
+        assert_eq!(w.pages(0.5), 128);
+        // 0.1 → 25.6 → 26 pages → rounds up to 32 (2 chunks).
+        assert_eq!(w.pages(0.1), 32);
+    }
+
+    #[test]
+    fn lane_stream_concatenates_phases() {
+        let w = toy();
+        let s = w.lane_stream(0, 1, 1.0);
+        assert_eq!(s.len(), 256);
+        assert_eq!(s[0].page.0, 0);
+        assert_eq!(s[255].page.0, 255);
+    }
+
+    #[test]
+    fn total_accesses_matches_stream_lengths() {
+        let w = toy();
+        let lanes = 4;
+        let total: u64 = (0..lanes)
+            .map(|l| w.lane_stream(l, lanes, 1.0).len() as u64)
+            .sum();
+        assert_eq!(total, w.total_accesses(lanes, 1.0));
+    }
+
+    #[test]
+    fn lane_items_have_uniform_barrier_counts() {
+        let w = toy();
+        let lanes = 4;
+        let barrier_count = |l: usize| {
+            w.lane_items(l, lanes, 1.0)
+                .iter()
+                .filter(|i| matches!(i, LaneItem::Barrier))
+                .count()
+        };
+        let c0 = barrier_count(0);
+        assert!(c0 >= 1);
+        for l in 1..lanes {
+            assert_eq!(barrier_count(l), c0, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn lane_items_accesses_match_stream() {
+        let w = toy();
+        let accesses: Vec<_> = w
+            .lane_items(0, 2, 1.0)
+            .into_iter()
+            .filter_map(|i| match i {
+                LaneItem::Access(a) => Some(a),
+                LaneItem::Barrier => None,
+            })
+            .collect();
+        assert_eq!(accesses, w.lane_stream(0, 2, 1.0));
+    }
+
+    #[test]
+    fn max_page_within_footprint() {
+        let w = toy();
+        assert_eq!(w.max_page(1.0), 255);
+    }
+}

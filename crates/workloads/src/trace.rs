@@ -1,0 +1,221 @@
+//! Access-trace serialization.
+//!
+//! The synthetic Table II generators are substitutes for real
+//! application traces (DESIGN.md substitution table). This module lets
+//! a downstream user bring *actual* traces: lane streams serialize to a
+//! small line-oriented text format and load back for simulation, so a
+//! trace captured from a real system (or another simulator) can be run
+//! through the same policies.
+//!
+//! Format (one directive per line, `#` comments allowed):
+//!
+//! ```text
+//! # cppe-trace v1
+//! lanes 4
+//! lane 0
+//! a 128 300      # access: page 128, 300 compute cycles
+//! a 129 300
+//! b              # kernel-launch barrier
+//! lane 1
+//! ...
+//! ```
+
+use crate::types::{AccessStep, LaneItem};
+use gmmu::types::VirtPage;
+use std::fmt::Write as _;
+
+/// Trace parse error with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serialize lane streams to the trace text format.
+#[must_use]
+pub fn to_text(streams: &[Vec<LaneItem>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# cppe-trace v1");
+    let _ = writeln!(out, "lanes {}", streams.len());
+    for (lane, stream) in streams.iter().enumerate() {
+        let _ = writeln!(out, "lane {lane}");
+        for item in stream {
+            match item {
+                LaneItem::Access(a) => {
+                    let _ = writeln!(out, "a {} {}", a.page.0, a.compute);
+                }
+                LaneItem::Barrier => {
+                    let _ = writeln!(out, "b");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse the trace text format back into lane streams.
+///
+/// # Errors
+/// Returns a [`TraceError`] naming the offending line for any malformed
+/// directive, out-of-order lane header, or access outside a lane block.
+pub fn from_text(text: &str) -> Result<Vec<Vec<LaneItem>>, TraceError> {
+    let err = |line: usize, message: &str| TraceError {
+        line,
+        message: message.to_string(),
+    };
+    let mut streams: Vec<Vec<LaneItem>> = Vec::new();
+    let mut current: Option<usize> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("lanes") => {
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "lanes needs a count"))?;
+                streams = vec![Vec::new(); n];
+            }
+            Some("lane") => {
+                let l: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "lane needs an index"))?;
+                if l >= streams.len() {
+                    return Err(err(line_no, "lane index out of range"));
+                }
+                current = Some(l);
+            }
+            Some("a") => {
+                let lane = current.ok_or_else(|| err(line_no, "access before lane header"))?;
+                let page: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "access needs a page number"))?;
+                let compute: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "access needs compute cycles"))?;
+                streams[lane].push(LaneItem::Access(AccessStep {
+                    page: VirtPage(page),
+                    compute,
+                }));
+            }
+            Some("b") => {
+                let lane = current.ok_or_else(|| err(line_no, "barrier before lane header"))?;
+                streams[lane].push(LaneItem::Barrier);
+            }
+            Some(other) => {
+                return Err(err(line_no, &format!("unknown directive '{other}'")));
+            }
+            None => unreachable!("empty lines were skipped"),
+        }
+    }
+    Ok(streams)
+}
+
+/// Write a trace to a file.
+///
+/// # Errors
+/// I/O errors from the filesystem.
+pub fn save(path: &std::path::Path, streams: &[Vec<LaneItem>]) -> std::io::Result<()> {
+    std::fs::write(path, to_text(streams))
+}
+
+/// Load a trace from a file.
+///
+/// # Errors
+/// I/O errors, or [`TraceError`] (boxed) for malformed content.
+pub fn load(path: &std::path::Path) -> Result<Vec<Vec<LaneItem>>, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(from_text(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    fn sample() -> Vec<Vec<LaneItem>> {
+        vec![
+            vec![
+                LaneItem::Access(AccessStep {
+                    page: VirtPage(5),
+                    compute: 100,
+                }),
+                LaneItem::Barrier,
+                LaneItem::Access(AccessStep {
+                    page: VirtPage(6),
+                    compute: 200,
+                }),
+            ],
+            vec![LaneItem::Barrier],
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_streams() {
+        let streams = sample();
+        let text = to_text(&streams);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed, streams);
+    }
+
+    #[test]
+    fn roundtrip_a_real_workload() {
+        let spec = registry::by_abbr("STN").unwrap();
+        let streams: Vec<_> = (0..4).map(|l| spec.lane_items(l, 4, 0.25)).collect();
+        let parsed = from_text(&to_text(&streams)).unwrap();
+        assert_eq!(parsed, streams);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\nlanes 1\n\nlane 0\na 1 2 # trailing comment\nb\n";
+        let parsed = from_text(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("lanes\n", 1, "lanes needs a count"),
+            ("lanes 1\nlane 5\n", 2, "lane index out of range"),
+            ("lanes 1\na 1 2\n", 2, "access before lane header"),
+            ("lanes 1\nlane 0\na x 2\n", 3, "access needs a page number"),
+            ("lanes 1\nlane 0\nz\n", 3, "unknown directive 'z'"),
+            ("b\n", 1, "barrier before lane header"),
+        ];
+        for (text, line, msg) in cases {
+            let e = from_text(text).unwrap_err();
+            assert_eq!(e.line, line, "{text:?}");
+            assert!(e.message.contains(msg), "{e}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("cppe-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let streams = sample();
+        save(&path, &streams).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded, streams);
+    }
+}

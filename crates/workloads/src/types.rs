@@ -1,0 +1,95 @@
+//! Workload-facing types.
+
+use gmmu::types::VirtPage;
+
+/// The six access-pattern types of Table II (taxonomy from the HPE
+/// paper, which the CPPE paper reuses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PatternType {
+    /// Type I — streaming: each page referenced once, never revisited.
+    Streaming,
+    /// Type II — partly repetitive: streaming plus partial re-reference.
+    PartlyRepetitive,
+    /// Type III — mostly repetitive: repeated (often strided) sweeps.
+    MostlyRepetitive,
+    /// Type IV — thrashing: cyclic re-reference of the whole footprint.
+    Thrashing,
+    /// Type V — repetitive-thrashing: cyclic sweeps mixed with
+    /// irregular accesses.
+    RepetitiveThrashing,
+    /// Type VI — region moving: a resident working region that drifts
+    /// across the footprint.
+    RegionMoving,
+}
+
+impl PatternType {
+    /// Roman-numeral label used by the paper's tables.
+    #[must_use]
+    pub fn roman(&self) -> &'static str {
+        match self {
+            PatternType::Streaming => "I",
+            PatternType::PartlyRepetitive => "II",
+            PatternType::MostlyRepetitive => "III",
+            PatternType::Thrashing => "IV",
+            PatternType::RepetitiveThrashing => "V",
+            PatternType::RegionMoving => "VI",
+        }
+    }
+
+    /// All six types in order.
+    #[must_use]
+    pub fn all() -> [PatternType; 6] {
+        [
+            PatternType::Streaming,
+            PatternType::PartlyRepetitive,
+            PatternType::MostlyRepetitive,
+            PatternType::Thrashing,
+            PatternType::RepetitiveThrashing,
+            PatternType::RegionMoving,
+        ]
+    }
+}
+
+/// One memory access issued by a lane (an SM warp slot): the page it
+/// touches and the compute cycles the lane spends before its *next*
+/// access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessStep {
+    /// Virtual page touched.
+    pub page: VirtPage,
+    /// Cycles of compute following this access.
+    pub compute: u32,
+}
+
+/// One item of a lane's execution stream: a memory access or a global
+/// barrier. Barriers model kernel-launch boundaries — iterative GPU
+/// applications relaunch their kernel per sweep, synchronizing all SMs,
+/// which is what keeps a re-swept range behaving as one global cyclic
+/// front. Every lane of a workload carries the same number of barriers,
+/// in the same order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneItem {
+    /// A memory access.
+    Access(AccessStep),
+    /// Wait until every lane reaches its next barrier.
+    Barrier,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roman_labels() {
+        assert_eq!(PatternType::Streaming.roman(), "I");
+        assert_eq!(PatternType::RegionMoving.roman(), "VI");
+    }
+
+    #[test]
+    fn all_covers_six() {
+        let all = PatternType::all();
+        assert_eq!(all.len(), 6);
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+}

@@ -1,0 +1,93 @@
+//! Build a *custom* workload from phases and inspect what each policy
+//! does with it — the intended way for downstream users to evaluate
+//! their own access patterns against CPPE.
+//!
+//! The example models a two-phase application: a stride-4 "sparse
+//! update" kernel (the MVT-style pattern the pattern buffer learns)
+//! followed by a dense verification sweep.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use cppe::presets::PolicyPreset;
+use gpu::{simulate, GpuConfig};
+use workloads::{Phase, PatternType, WorkloadSpec};
+
+fn my_app() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "sparse-update",
+        abbr: "SPU",
+        suite: "custom",
+        footprint_mb: 24.0,
+        pattern: PatternType::MostlyRepetitive,
+        seed: 0xBEEF,
+        build: |pages| {
+            vec![
+                // Three sparse update sweeps: stride-4 page touches.
+                Phase::Strided {
+                    start: 0,
+                    len: pages,
+                    stride: 4,
+                    passes: 3,
+                    compute: 300,
+                },
+                // One dense verification pass.
+                Phase::Seq {
+                    start: 0,
+                    len: pages,
+                    passes: 1,
+                    compute: 300,
+                },
+            ]
+        },
+    }
+}
+
+fn main() {
+    let spec = my_app();
+    let scale = 1.0;
+    let gpu = GpuConfig {
+        warps_per_sm: 1,
+        ..GpuConfig::default()
+    };
+    let pages = spec.pages(scale);
+    let capacity = (pages / 2) as u32; // 50 % oversubscription
+    let lanes = gpu.lanes();
+    let streams: Vec<_> = (0..lanes)
+        .map(|l| spec.lane_items(l, lanes, scale))
+        .collect();
+
+    println!(
+        "custom workload: {} pages, 50% fits; stride-4 updates + dense sweep\n",
+        pages
+    );
+    println!(
+        "{:18} {:>9} {:>12} {:>8} {:>9} {:>12} {:>12}",
+        "policy", "outcome", "cycles", "faults", "evictions", "h2d-bytes", "pattern-buf"
+    );
+    for preset in [
+        PolicyPreset::Baseline,
+        PolicyPreset::DisablePfOnFull,
+        PolicyPreset::MhpeOnly,
+        PolicyPreset::Cppe,
+    ] {
+        let engine = preset.build(1);
+        let r = simulate(&gpu, engine, &streams, capacity, pages);
+        println!(
+            "{:18} {:>9} {:>12} {:>8} {:>9} {:>12} {:>12}",
+            preset.label(),
+            format!("{:?}", r.outcome),
+            r.cycles,
+            r.engine.faults,
+            r.engine.chunk_evictions,
+            r.bytes_h2d,
+            r.overhead.pattern_buffer_max,
+        );
+    }
+    println!(
+        "\nThe pattern-aware prefetcher learns the stride-4 touch pattern from\n\
+         evicted chunks and stops migrating the 12 untouched pages per chunk —\n\
+         compare h2d traffic between 'mhpe-naive-pf' and 'cppe'."
+    );
+}

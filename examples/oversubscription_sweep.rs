@@ -1,0 +1,67 @@
+//! Oversubscription sweep: how execution time grows as less and less of
+//! a workload fits in GPU memory, for three policies.
+//!
+//! Mirrors the sensitivity-to-oversubscription studies in Zheng et al.
+//! (HPCA'16) that the paper builds on, and shows where CPPE's advantage
+//! opens up.
+//!
+//! ```text
+//! cargo run --release --example oversubscription_sweep [ABBR]
+//! ```
+
+use cppe::presets::PolicyPreset;
+use gpu::{simulate, GpuConfig, Outcome};
+use workloads::registry;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "HSD".to_string());
+    let spec = registry::by_abbr(&which).unwrap_or_else(|| {
+        eprintln!("unknown workload '{which}', see Table II abbreviations");
+        std::process::exit(1);
+    });
+    let scale = 0.5;
+    let gpu = GpuConfig {
+        warps_per_sm: 1,
+        ..GpuConfig::default()
+    };
+    let pages = spec.pages(scale);
+    let lanes = gpu.lanes();
+    let streams: Vec<_> = (0..lanes)
+        .map(|l| spec.lane_items(l, lanes, scale))
+        .collect();
+
+    println!(
+        "{} ({}, Type {}) — cycles at each oversubscription rate\n",
+        spec.name,
+        spec.abbr,
+        spec.pattern.roman()
+    );
+    println!(
+        "{:>8}  {:>14}  {:>14}  {:>14}",
+        "fits", "baseline", "cppe", "nopf-on-full"
+    );
+    for percent in [100u64, 90, 75, 60, 50, 40] {
+        let capacity = ((pages * percent / 100).max(32) / 16 * 16) as u32;
+        let mut row = format!("{percent:>7}%");
+        for preset in [
+            PolicyPreset::Baseline,
+            PolicyPreset::Cppe,
+            PolicyPreset::DisablePfOnFull,
+        ] {
+            let engine = preset.build(42);
+            let r = simulate(&gpu, engine, &streams, capacity, pages);
+            let cell = match r.outcome {
+                Outcome::Completed => format!("{:>14}", r.cycles),
+                Outcome::Crashed => format!("{:>14}", "CRASHED"),
+                Outcome::Timeout => format!("{:>14}", "TIMEOUT"),
+            };
+            row.push_str("  ");
+            row.push_str(&cell);
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nAt 100% everything fits (compulsory faults only); below that the\n\
+         eviction policy decides how gracefully performance degrades."
+    );
+}

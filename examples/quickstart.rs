@@ -1,0 +1,59 @@
+//! Quickstart: run one workload under the baseline and under CPPE and
+//! compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cppe::presets::PolicyPreset;
+use gpu::{simulate, GpuConfig};
+use workloads::registry;
+
+fn main() {
+    // The srad_v2 benchmark: a Type IV (thrashing) app — cyclic sweeps
+    // over a 96 MB footprint (Table II).
+    let spec = registry::by_abbr("SRD").expect("SRD is in the registry");
+    let scale = 0.5; // half footprint for a quick run
+    let gpu = GpuConfig {
+        warps_per_sm: 1,
+        ..GpuConfig::default()
+    };
+
+    // 50 % oversubscription: only half the footprint fits in GPU memory.
+    let pages = spec.pages(scale);
+    let capacity = (pages / 2) as u32;
+    let lanes = gpu.lanes();
+    let streams: Vec<_> = (0..lanes)
+        .map(|l| spec.lane_items(l, lanes, scale))
+        .collect();
+
+    println!(
+        "workload={} footprint={} pages, capacity={} pages ({}% fits)\n",
+        spec.name,
+        pages,
+        capacity,
+        100 * u64::from(capacity) / pages
+    );
+
+    let mut results = Vec::new();
+    for preset in [PolicyPreset::Baseline, PolicyPreset::Cppe] {
+        let engine = preset.build(42);
+        let r = simulate(&gpu, engine, &streams, capacity, pages);
+        println!(
+            "{:10} outcome={:?} cycles={:>12} faults={:>7} chunk-evictions={:>7} wrong-evictions={}",
+            preset.label(),
+            r.outcome,
+            r.cycles,
+            r.engine.faults,
+            r.engine.chunk_evictions,
+            r.wrong_evictions,
+        );
+        results.push(r);
+    }
+
+    let speedup = results[0].cycles as f64 / results[1].cycles as f64;
+    println!(
+        "\nCPPE speedup over the LRU+naive-prefetch baseline: {speedup:.2}x \
+         (the paper reports large Type IV wins — Fig. 8)"
+    );
+}

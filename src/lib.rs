@@ -1,0 +1,11 @@
+//! Umbrella package for the CPPE reproduction workspace.
+//!
+//! Re-exports the per-crate public APIs so examples and integration tests
+//! can use a single dependency. See README.md for the tour.
+pub use cppe;
+pub use gmmu;
+pub use gpu;
+pub use harness;
+pub use sim_core;
+pub use uvm;
+pub use workloads;

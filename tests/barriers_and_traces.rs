@@ -1,0 +1,171 @@
+//! Integration tests for the kernel-launch barrier machinery and the
+//! trace record/replay path.
+
+use cppe::presets::PolicyPreset;
+use gmmu::types::VirtPage;
+use gpu::{simulate, GpuConfig, Outcome};
+use workloads::{registry, AccessStep, LaneItem};
+
+fn gpu_cfg() -> GpuConfig {
+    GpuConfig {
+        sms: 4,
+        warps_per_sm: 1,
+        compute_jitter: 0.0,
+        ..GpuConfig::default()
+    }
+}
+
+fn access(page: u64, compute: u32) -> LaneItem {
+    LaneItem::Access(AccessStep {
+        page: VirtPage(page),
+        compute,
+    })
+}
+
+#[test]
+fn barrier_synchronizes_fast_and_slow_lanes() {
+    // Lane 0 does one quick access; lane 1 does many slow ones. Both
+    // then pass a barrier and do one more access. Without the barrier,
+    // lane 0 would finish at ~t1; with it, lane 0's second access can
+    // only start after lane 1 reaches the barrier.
+    let cfg = gpu_cfg();
+    let fast = vec![access(0, 10), LaneItem::Barrier, access(1, 10)];
+    let mut slow = Vec::new();
+    for i in 0..10 {
+        slow.push(access(2 + i, 50_000));
+    }
+    slow.push(LaneItem::Barrier);
+    slow.push(access(13, 10));
+    let r = simulate(&cfg, PolicyPreset::Baseline.build(0), &[fast, slow], 256, 32);
+    assert_eq!(r.outcome, Outcome::Completed);
+    // The run must last at least the slow lane's compute (10 × 50 000).
+    assert!(r.cycles > 450_000, "barrier did not hold: {}", r.cycles);
+}
+
+#[test]
+fn barrier_applies_launch_overhead() {
+    let base = gpu_cfg();
+    let with_overhead = GpuConfig {
+        launch_overhead_cycles: 100_000,
+        ..base
+    };
+    let streams =
+        vec![vec![access(0, 10), LaneItem::Barrier, access(1, 10)]];
+    let a = simulate(&base, PolicyPreset::Baseline.build(0), &streams, 256, 32);
+    let b = simulate(
+        &with_overhead,
+        PolicyPreset::Baseline.build(0),
+        &streams,
+        256,
+        32,
+    );
+    assert!(
+        b.cycles >= a.cycles + 90_000,
+        "launch overhead missing: {} vs {}",
+        b.cycles,
+        a.cycles
+    );
+}
+
+#[test]
+fn lanes_without_barriers_run_free() {
+    let cfg = gpu_cfg();
+    let streams = vec![
+        vec![access(0, 10), access(1, 10)],
+        vec![access(16, 10)],
+    ];
+    let r = simulate(&cfg, PolicyPreset::Baseline.build(0), &streams, 256, 32);
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert_eq!(r.accesses, 3);
+}
+
+#[test]
+fn consecutive_barriers_do_not_deadlock() {
+    let cfg = gpu_cfg();
+    let stream = vec![
+        LaneItem::Barrier,
+        LaneItem::Barrier,
+        access(0, 10),
+        LaneItem::Barrier,
+    ];
+    let r = simulate(
+        &cfg,
+        PolicyPreset::Baseline.build(0),
+        &[stream.clone(), stream],
+        256,
+        32,
+    );
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert_eq!(r.accesses, 2);
+}
+
+#[test]
+fn jitter_zero_is_exactly_reproducible_and_jitter_changes_timing() {
+    let spec = registry::by_abbr("HSD").unwrap();
+    let make = |jitter: f64, seed: u64| {
+        let cfg = GpuConfig {
+            warps_per_sm: 1,
+            compute_jitter: jitter,
+            jitter_seed: seed,
+            ..GpuConfig::default()
+        };
+        let lanes = cfg.lanes();
+        let streams: Vec<_> = (0..lanes)
+            .map(|l| spec.lane_items(l, lanes, 0.25))
+            .collect();
+        let pages = spec.pages(0.25);
+        simulate(&cfg, PolicyPreset::Cppe.build(1), &streams, (pages / 2) as u32, pages)
+    };
+    let a = make(0.0, 1);
+    let b = make(0.0, 2);
+    assert_eq!(a.cycles, b.cycles, "zero jitter must ignore the seed");
+    let c = make(0.3, 1);
+    let d = make(0.3, 2);
+    assert_ne!(c.cycles, d.cycles, "jitter seeds must matter");
+    let e = make(0.3, 1);
+    assert_eq!(c.cycles, e.cycles, "same seed must reproduce");
+}
+
+#[test]
+fn trace_replay_is_equivalent_to_direct_run() {
+    // Record STN's streams to the trace format, load them back, and
+    // verify the simulation is bit-identical.
+    let spec = registry::by_abbr("STN").unwrap();
+    let cfg = GpuConfig {
+        warps_per_sm: 1,
+        ..GpuConfig::default()
+    };
+    let lanes = cfg.lanes();
+    let streams: Vec<_> = (0..lanes)
+        .map(|l| spec.lane_items(l, lanes, 0.25))
+        .collect();
+    let text = workloads::trace::to_text(&streams);
+    let replayed = workloads::trace::from_text(&text).expect("parse");
+    assert_eq!(replayed, streams);
+
+    let pages = spec.pages(0.25);
+    let direct = simulate(&cfg, PolicyPreset::Cppe.build(3), &streams, (pages / 2) as u32, pages);
+    let replay = simulate(&cfg, PolicyPreset::Cppe.build(3), &replayed, (pages / 2) as u32, pages);
+    assert_eq!(direct.cycles, replay.cycles);
+    assert_eq!(direct.engine.faults, replay.engine.faults);
+}
+
+#[test]
+fn faulting_lane_does_not_stop_its_peers() {
+    // Replayable far faults: lane 0 faults; lane 1's accesses hit
+    // already-resident pages and proceed during the fault service.
+    let cfg = gpu_cfg();
+    // Pre-touch via a first access that faults in chunk 1 for lane 1.
+    let l0 = vec![access(0, 10)];
+    let mut l1 = vec![access(16, 10)];
+    for i in 17..32 {
+        l1.push(access(i, 10));
+    }
+    let r = simulate(&cfg, PolicyPreset::Baseline.build(0), &[l0, l1], 256, 48);
+    assert_eq!(r.outcome, Outcome::Completed);
+    // Two distinct chunk faults, serviced in at most two batches — lane
+    // 1's 15 follow-on accesses never fault (its chunk was migrated
+    // whole) and overlap lane 0's service.
+    assert_eq!(r.driver.faults_serviced, 2);
+    assert_eq!(r.accesses, 17);
+}

@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! workload generators — cross-crate invariants that unit tests cannot
+//! pin down exhaustively.
+
+use cppe::chain::ChunkChain;
+use cppe::evicted_buffer::EvictedBuffer;
+use cppe::prefetch::pattern::{DeletionScheme, PatternBuffer, ProbeResult};
+use gmmu::tlb::{Tlb, TlbConfig};
+use gmmu::types::{ChunkId, Frame, VirtPage};
+use proptest::prelude::*;
+use sim_core::{FxHashSet, TouchVec};
+use std::collections::VecDeque;
+use workloads::registry;
+
+#[derive(Debug, Clone)]
+enum ChainOp {
+    InsertTail(u64, u64),
+    InsertHead(u64, u64),
+    Remove(u64),
+    Touch(u64, u64),
+}
+
+fn chain_op() -> impl Strategy<Value = ChainOp> {
+    prop_oneof![
+        (0u64..64, 0u64..16).prop_map(|(c, i)| ChainOp::InsertTail(c, i)),
+        (0u64..64, 0u64..16).prop_map(|(c, i)| ChainOp::InsertHead(c, i)),
+        (0u64..64).prop_map(ChainOp::Remove),
+        (0u64..64, 0u64..16).prop_map(|(c, i)| ChainOp::Touch(c, i)),
+    ]
+}
+
+proptest! {
+    /// The slab-backed chunk chain behaves exactly like a reference
+    /// VecDeque model under arbitrary operation sequences.
+    #[test]
+    fn chain_matches_reference_model(ops in proptest::collection::vec(chain_op(), 1..200)) {
+        let mut chain = ChunkChain::new();
+        // Model: front = LRU, back = MRU.
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                ChainOp::InsertTail(c, i) => {
+                    chain.insert_tail(ChunkId(c), i);
+                    model.retain(|&x| x != c);
+                    model.push_back(c);
+                }
+                ChainOp::InsertHead(c, i) => {
+                    chain.insert_head(ChunkId(c), i);
+                    model.retain(|&x| x != c);
+                    model.push_front(c);
+                }
+                ChainOp::Remove(c) => {
+                    let was = chain.remove(ChunkId(c));
+                    let had = model.contains(&c);
+                    prop_assert_eq!(was, had);
+                    model.retain(|&x| x != c);
+                }
+                ChainOp::Touch(c, i) => {
+                    chain.touch(ChunkId(c), i, 1);
+                    if model.contains(&c) {
+                        model.retain(|&x| x != c);
+                        model.push_back(c);
+                    }
+                }
+            }
+            prop_assert_eq!(chain.len(), model.len());
+        }
+        let order: Vec<u64> = chain.iter_lru().map(|c| c.0).collect();
+        let expect: Vec<u64> = model.into_iter().collect();
+        prop_assert_eq!(order, expect);
+    }
+
+    /// Victim selection never returns an excluded or absent chunk, and
+    /// returns Some whenever an eligible chunk exists.
+    #[test]
+    fn chain_selection_respects_exclusion(
+        chunks in proptest::collection::btree_set(0u64..64, 0..32),
+        excluded in proptest::collection::btree_set(0u64..64, 0..32),
+        fd in 0usize..12,
+        interval in 0u64..8,
+    ) {
+        let mut chain = ChunkChain::new();
+        for (i, &c) in chunks.iter().enumerate() {
+            chain.insert_tail(ChunkId(c), (i % 4) as u64);
+        }
+        let ex: FxHashSet<ChunkId> = excluded.iter().map(|&c| ChunkId(c)).collect();
+        let eligible = chunks.iter().any(|c| !excluded.contains(c));
+        for victim in [
+            chain.select_mru_old(fd, interval, &ex),
+            chain.select_lru_old(interval, &ex),
+            chain.nth_from_lru(fd, &ex),
+        ] {
+            prop_assert_eq!(victim.is_some(), eligible);
+            if let Some(v) = victim {
+                prop_assert!(chunks.contains(&v.0));
+                prop_assert!(!excluded.contains(&v.0));
+            }
+        }
+    }
+
+    /// A TLB never exceeds capacity, and a probe after insert hits until
+    /// the entry is invalidated.
+    #[test]
+    fn tlb_capacity_and_membership(pages in proptest::collection::vec(0u64..1024, 1..300)) {
+        let mut tlb = Tlb::new(TlbConfig { entries: 16, associativity: 4, hit_latency: 1 });
+        for &p in &pages {
+            tlb.insert(VirtPage(p), Frame(p as u32));
+            prop_assert!(tlb.occupancy() <= 16);
+            prop_assert_eq!(tlb.probe(VirtPage(p)), Some(Frame(p as u32)));
+        }
+        for &p in &pages {
+            tlb.invalidate(VirtPage(p));
+            prop_assert!(tlb.probe(VirtPage(p)).is_none());
+        }
+        prop_assert_eq!(tlb.occupancy(), 0);
+    }
+
+    /// The evicted-chunk buffer never grows beyond its capacity and
+    /// take() is linear-time consistent with membership.
+    #[test]
+    fn evicted_buffer_bounded(ops in proptest::collection::vec((0u64..32, any::<bool>()), 1..200)) {
+        let mut buf = EvictedBuffer::new(8);
+        for (c, take) in ops {
+            if take {
+                let had = buf.contains(ChunkId(c));
+                prop_assert_eq!(buf.take(ChunkId(c)), had);
+                prop_assert!(!buf.contains(ChunkId(c)));
+            } else {
+                buf.push(ChunkId(c));
+                prop_assert!(buf.contains(ChunkId(c)));
+            }
+            prop_assert!(buf.len() <= 8);
+        }
+    }
+
+    /// Pattern buffer: a recorded sparse pattern always matches faults
+    /// on its touched pages, and a Scheme-1 mismatch always deletes.
+    #[test]
+    fn pattern_buffer_probe_semantics(bits in 0u16..u16::MAX, page_idx in 0usize..16) {
+        let touch = TouchVec::from_bits(bits);
+        let mut buf = PatternBuffer::new();
+        buf.record(ChunkId(3), touch);
+        let recorded = touch.untouch_level() >= 8;
+        prop_assert_eq!(buf.contains(ChunkId(3)), recorded);
+        let result = buf.probe(ChunkId(3).page(page_idx), DeletionScheme::Scheme1);
+        match result {
+            ProbeResult::Miss => prop_assert!(!recorded),
+            ProbeResult::Match(p) => {
+                prop_assert!(recorded);
+                prop_assert!(p.get(page_idx));
+                prop_assert!(buf.contains(ChunkId(3)));
+            }
+            ProbeResult::Mismatch { deleted } => {
+                prop_assert!(recorded);
+                prop_assert!(!touch.get(page_idx));
+                prop_assert!(deleted);
+                prop_assert!(!buf.contains(ChunkId(3)));
+            }
+        }
+    }
+
+    /// Every workload's lane streams stay inside the footprint and
+    /// cover it (union of pages touched across lanes is non-trivial),
+    /// at any lane count and scale.
+    #[test]
+    fn workload_streams_in_bounds(
+        idx in 0usize..23,
+        lanes in 1usize..40,
+        scale in prop_oneof![Just(0.25), Just(0.5)],
+    ) {
+        let spec = &registry::all()[idx];
+        let pages = spec.pages(scale);
+        let mut seen = FxHashSet::default();
+        let mut barriers_per_lane = Vec::new();
+        for lane in 0..lanes {
+            let mut barriers = 0usize;
+            for item in spec.lane_items(lane, lanes, scale) {
+                match item {
+                    workloads::LaneItem::Access(a) => {
+                        prop_assert!(a.page.0 < pages,
+                            "{}: page {} outside footprint {}", spec.abbr, a.page.0, pages);
+                        seen.insert(a.page.0);
+                    }
+                    workloads::LaneItem::Barrier => barriers += 1,
+                }
+            }
+            barriers_per_lane.push(barriers);
+        }
+        // Uniform barrier structure (no deadlock).
+        prop_assert!(barriers_per_lane.windows(2).all(|w| w[0] == w[1]));
+        // The generators cover a substantial part of the footprint.
+        prop_assert!(seen.len() as u64 >= pages / 4,
+            "{}: only {} of {} pages touched", spec.abbr, seen.len(), pages);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based fuzzing of the full simulator: random small workloads
+//! built from random phases, run under random policies — the simulator
+//! must never panic, always terminate, and keep its accounting
+//! identities, regardless of workload shape.
+
+use cppe::presets::PolicyPreset;
+use gpu::{simulate, GpuConfig, Outcome};
+use proptest::prelude::*;
+use workloads::Phase;
+
+fn arb_phase(max_pages: u64) -> impl Strategy<Value = Phase> {
+    let p = max_pages;
+    prop_oneof![
+        (1..p, 1u32..4, 50u32..500).prop_map(move |(len, passes, compute)| Phase::Seq {
+            start: 0,
+            len,
+            passes,
+            compute,
+        }),
+        (1..p, 2u64..6, 1u32..3, 50u32..500).prop_map(move |(len, stride, passes, compute)| {
+            Phase::Strided {
+                start: 0,
+                len,
+                stride,
+                passes,
+                compute,
+            }
+        }),
+        (1..p, 1u64..200, 50u32..500).prop_map(move |(len, count, compute)| Phase::Random {
+            start: 0,
+            len,
+            count,
+            compute,
+        }),
+        (1..p, 1u64..200, 1000u32..2000, 50u32..500).prop_map(
+            move |(len, count, alpha_milli, compute)| Phase::Zipf {
+                start: 0,
+                len,
+                count,
+                alpha_milli,
+                compute,
+            }
+        ),
+        (1..p, 1u64..64, 1u64..64, 1u32..3, 1u64..4, 50u32..500).prop_map(
+            move |(len, window, step, reps, stride, compute)| Phase::MovingWindow {
+                start: 0,
+                len,
+                window,
+                step,
+                reps,
+                stride,
+                compute,
+            }
+        ),
+    ]
+}
+
+// Phases are generated data, but `WorkloadSpec::build` is a fn pointer —
+// so fuzz at the lane-item level, expanding phases directly.
+fn streams_from_phases(phases: &[Phase], lanes: usize) -> Vec<Vec<workloads::LaneItem>>
+{
+    use workloads::{AccessStep, LaneItem};
+    (0..lanes)
+        .map(|lane| {
+            let mut items = Vec::new();
+            for (i, phase) in phases.iter().enumerate() {
+                let compute = phase.compute();
+                for seg in phase.lane_segments(lane, lanes, 77 + i as u64) {
+                    items.extend(seg.into_iter().map(|p| {
+                        LaneItem::Access(AccessStep {
+                            page: gmmu::types::VirtPage(p),
+                            compute,
+                        })
+                    }));
+                    items.push(LaneItem::Barrier);
+                }
+            }
+            items
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn simulator_never_panics_and_accounts_correctly(
+        phases in proptest::collection::vec(arb_phase(512), 1..4),
+        capacity_chunks in 2u32..24,
+        preset_idx in 0usize..6,
+        lanes in 1usize..6,
+    ) {
+        let preset = [
+            PolicyPreset::Baseline,
+            PolicyPreset::Random,
+            PolicyPreset::ReservedLru20,
+            PolicyPreset::DisablePfOnFull,
+            PolicyPreset::Cppe,
+            PolicyPreset::HpeNaive,
+        ][preset_idx];
+        let cfg = GpuConfig {
+            sms: lanes,
+            warps_per_sm: 1,
+            ..GpuConfig::default()
+        };
+        let streams = streams_from_phases(&phases, lanes);
+        let total: usize = streams.iter().map(|s| s.len()).sum();
+        prop_assume!(total > 0);
+        let r = simulate(&cfg, preset.build(5), &streams, capacity_chunks * 16, 512);
+
+        // Termination: either completed or legitimately crashed — never
+        // a timeout on these tiny workloads.
+        prop_assert_ne!(r.outcome, Outcome::Timeout);
+        // Accounting identities.
+        prop_assert!(r.engine.pages_evicted <= r.engine.pages_migrated);
+        prop_assert!(r.engine.total_untouch <= r.engine.pages_evicted);
+        prop_assert_eq!(r.bytes_h2d, r.engine.pages_migrated * 4096);
+        prop_assert_eq!(r.bytes_d2h, r.engine.pages_evicted * 4096);
+        prop_assert!(r.driver.faults_serviced <= r.engine.faults);
+        if r.outcome == Outcome::Completed {
+            let accesses: u64 = streams
+                .iter()
+                .flatten()
+                .filter(|i| matches!(i, workloads::LaneItem::Access(_)))
+                .count() as u64;
+            prop_assert_eq!(r.accesses, accesses);
+        }
+    }
+
+    #[test]
+    fn simulator_is_deterministic_under_fuzzing(
+        phases in proptest::collection::vec(arb_phase(256), 1..3),
+        capacity_chunks in 2u32..12,
+    ) {
+        let cfg = GpuConfig {
+            sms: 3,
+            warps_per_sm: 1,
+            ..GpuConfig::default()
+        };
+        let streams = streams_from_phases(&phases, 3);
+        let a = simulate(&cfg, PolicyPreset::Cppe.build(5), &streams, capacity_chunks * 16, 256);
+        let b = simulate(&cfg, PolicyPreset::Cppe.build(5), &streams, capacity_chunks * 16, 256);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.engine.pages_migrated, b.engine.pages_migrated);
+        prop_assert_eq!(a.wrong_evictions, b.wrong_evictions);
+    }
+}
