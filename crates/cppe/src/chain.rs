@@ -234,7 +234,9 @@ impl ChunkChain {
     /// HPE counter of `chunk` (None if absent).
     #[must_use]
     pub fn counter(&self, chunk: ChunkId) -> Option<u32> {
-        self.index.get(&chunk).map(|&i| self.nodes[i as usize].counter)
+        self.index
+            .get(&chunk)
+            .map(|&i| self.nodes[i as usize].counter)
     }
 
     /// Last-referenced interval of `chunk`.
@@ -321,11 +323,7 @@ impl ChunkChain {
     #[must_use]
     pub fn nth_from_lru(&self, pos: usize, exclude: &FxHashSet<ChunkId>) -> Option<ChunkId> {
         let mut last = None;
-        for (i, chunk) in self
-            .iter_lru()
-            .filter(|c| !exclude.contains(c))
-            .enumerate()
-        {
+        for (i, chunk) in self.iter_lru().filter(|c| !exclude.contains(c)).enumerate() {
             last = Some(chunk);
             if i == pos {
                 return last;
@@ -593,8 +591,11 @@ mod tests {
         ch.insert_tail(ChunkId(0), 0);
         ch.insert_tail(ChunkId(1), 0);
         ch.insert_tail(ChunkId(9), 5); // new
-        // fd larger than old partition → LRU-most old chunk.
-        assert_eq!(ch.select_mru_old(10, 5, &FxHashSet::default()), Some(ChunkId(0)));
+                                       // fd larger than old partition → LRU-most old chunk.
+        assert_eq!(
+            ch.select_mru_old(10, 5, &FxHashSet::default()),
+            Some(ChunkId(0))
+        );
     }
 
     #[test]
@@ -602,7 +603,10 @@ mod tests {
         let mut ch = ChunkChain::new();
         ch.insert_tail(ChunkId(1), 5);
         ch.insert_tail(ChunkId(2), 5);
-        assert_eq!(ch.select_mru_old(3, 5, &FxHashSet::default()), Some(ChunkId(1)));
+        assert_eq!(
+            ch.select_mru_old(3, 5, &FxHashSet::default()),
+            Some(ChunkId(1))
+        );
     }
 
     #[test]
@@ -611,7 +615,10 @@ mod tests {
         ch.insert_tail(ChunkId(3), 0);
         ch.insert_tail(ChunkId(4), 1);
         ch.insert_tail(ChunkId(5), 5);
-        assert_eq!(ch.select_lru_old(5, &FxHashSet::default()), Some(ChunkId(3)));
+        assert_eq!(
+            ch.select_lru_old(5, &FxHashSet::default()),
+            Some(ChunkId(3))
+        );
     }
 
     #[test]

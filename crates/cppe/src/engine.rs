@@ -52,6 +52,16 @@ pub struct PolicyEngine {
     pages_into_interval: u64,
     memory_full: bool,
     intervals_since_full: u64,
+    /// Prefetch plans are cut to `1/throttle` of their size (degradation
+    /// ladder, shed 1). 1 = no throttling.
+    throttle: u32,
+    /// Has the engine fallen back to the baseline policy pair?
+    fell_back: bool,
+    /// Wrong-eviction count carried across a policy fallback.
+    wrong_evictions_carry: u64,
+    /// Aux-buffer high-water marks carried across a policy fallback.
+    evicted_buffer_carry: usize,
+    pattern_buffer_carry: usize,
     /// Chain length when memory first filled (overhead analysis).
     pub chain_len_at_full: usize,
     /// Aggregate counters.
@@ -70,6 +80,11 @@ impl PolicyEngine {
             pages_into_interval: 0,
             memory_full: false,
             intervals_since_full: 0,
+            throttle: 1,
+            fell_back: false,
+            wrong_evictions_carry: 0,
+            evicted_buffer_carry: 0,
+            pattern_buffer_carry: 0,
             chain_len_at_full: 0,
             stats: EngineStats::default(),
         }
@@ -122,12 +137,22 @@ impl PolicyEngine {
             page_table: pt,
             memory_full: self.memory_full,
         };
-        let plan = self.prefetch.plan(page, &ctx);
+        let mut plan = self.prefetch.plan(page, &ctx);
         debug_assert!(plan.contains(&page), "plan must include the faulted page");
         debug_assert!(
             plan.iter().all(|&p| !pt.is_resident(p)),
             "plan must only contain non-resident pages"
         );
+        if self.throttle > 1 && plan.len() > 1 {
+            // Degraded mode (ladder shed 1): keep the faulted page plus
+            // the first 1/throttle of the planned pages, shrinking the
+            // migration traffic the thrash detector flagged as wasteful.
+            let keep = (plan.len() / self.throttle as usize).max(1);
+            plan.retain(|&p| p != page);
+            plan.truncate(keep.saturating_sub(1));
+            plan.push(page);
+            plan.sort_unstable_by_key(|p| p.0);
+        }
         plan
     }
 
@@ -188,10 +213,56 @@ impl PolicyEngine {
         }
     }
 
-    /// Wrong evictions recorded by the policy.
+    /// Halve prefetch aggressiveness (degradation ladder, shed 1).
+    /// Each call doubles the throttle divisor, capped at 16.
+    pub fn shed_prefetch(&mut self) {
+        self.throttle = (self.throttle * 2).min(16);
+    }
+
+    /// Replace the policy pair with the conservative fallback — plain
+    /// LRU eviction plus a sequential-local prefetcher that stops
+    /// prefetching once memory is full (degradation ladder, shed 2).
+    ///
+    /// The chunk chain and all aggregate stats survive the swap; the
+    /// outgoing policies' wrong-eviction count and buffer high-water
+    /// marks are carried so [`PolicyEngine::wrong_evictions`] and
+    /// [`PolicyEngine::overhead`] stay monotone across the fallback.
+    pub fn fallback_to_baseline(&mut self) {
+        use crate::evict::lru::LruPolicy;
+        use crate::prefetch::sequential::SequentialLocalPrefetcher;
+        self.wrong_evictions_carry += self.evict.wrong_evictions();
+        self.evicted_buffer_carry = self
+            .evicted_buffer_carry
+            .max(self.evict.aux_buffer_max_len());
+        self.pattern_buffer_carry = self
+            .pattern_buffer_carry
+            .max(self.prefetch.pattern_buffer_max_len());
+        self.evict = Box::new(LruPolicy::new());
+        self.prefetch = Box::new(SequentialLocalPrefetcher::disable_on_full());
+        if self.memory_full {
+            self.evict.on_memory_full(&self.chain);
+        }
+        self.throttle = 1;
+        self.fell_back = true;
+    }
+
+    /// Has [`PolicyEngine::fallback_to_baseline`] run?
+    #[must_use]
+    pub fn fell_back(&self) -> bool {
+        self.fell_back
+    }
+
+    /// Current prefetch throttle divisor (1 = full aggressiveness).
+    #[must_use]
+    pub fn prefetch_throttle(&self) -> u32 {
+        self.throttle
+    }
+
+    /// Wrong evictions recorded by the policy (summed across a
+    /// degradation fallback, if one happened).
     #[must_use]
     pub fn wrong_evictions(&self) -> u64 {
-        self.evict.wrong_evictions()
+        self.wrong_evictions_carry + self.evict.wrong_evictions()
     }
 
     /// Overhead-analysis snapshot (§VI-C): chain length at full, the
@@ -202,8 +273,12 @@ impl PolicyEngine {
         OverheadSnapshot {
             chain_len_at_full: self.chain_len_at_full,
             chain_max_len: self.stats.chain_max_len,
-            evicted_buffer_max: self.evict.aux_buffer_max_len(),
-            pattern_buffer_max: self.prefetch.pattern_buffer_max_len(),
+            evicted_buffer_max: self
+                .evicted_buffer_carry
+                .max(self.evict.aux_buffer_max_len()),
+            pattern_buffer_max: self
+                .pattern_buffer_carry
+                .max(self.prefetch.pattern_buffer_max_len()),
         }
     }
 
@@ -399,6 +474,59 @@ mod tests {
         e.note_migrated(ChunkId(2), 16, true);
         // The chunk must sit at the LRU end (head) of the chain.
         assert_eq!(e.chain().iter_lru().next(), Some(ChunkId(2)));
+    }
+
+    #[test]
+    fn shed_prefetch_throttles_plans() {
+        let mut e = baseline();
+        let pt = PageTable::new();
+        assert_eq!(e.plan_prefetch(VirtPage(3), &pt).len(), 16);
+        e.shed_prefetch();
+        assert_eq!(e.prefetch_throttle(), 2);
+        let plan = e.plan_prefetch(VirtPage(3), &pt);
+        assert_eq!(plan.len(), 8, "half the chunk under throttle 2");
+        assert!(plan.contains(&VirtPage(3)));
+        // Repeated sheds double the divisor, capped at 16.
+        for _ in 0..10 {
+            e.shed_prefetch();
+        }
+        assert_eq!(e.prefetch_throttle(), 16);
+        assert_eq!(e.plan_prefetch(VirtPage(3), &pt).len(), 1);
+    }
+
+    #[test]
+    fn fallback_preserves_counters_and_keeps_chain() {
+        use crate::prefetch::pattern::PatternAwarePrefetcher;
+        let mut e = PolicyEngine::new(
+            Box::new(MhpePolicy::new()),
+            Box::new(PatternAwarePrefetcher::new()),
+        );
+        for i in 0..6 {
+            e.note_migrated(ChunkId(i), 16, true);
+        }
+        e.note_memory_full();
+        e.note_evicted(ChunkId(2), TouchVec::full(), 16);
+        e.note_fault(ChunkId(2).page(0)); // wrong eviction
+        assert_eq!(e.wrong_evictions(), 1);
+        let pre = e.overhead();
+        assert!(!e.fell_back());
+        e.fallback_to_baseline();
+        assert!(e.fell_back());
+        assert_eq!(
+            e.name(),
+            "lru+seq-local-nopf-on-full",
+            "baseline fallback pair"
+        );
+        assert_eq!(e.wrong_evictions(), 1, "carried across the swap");
+        let post = e.overhead();
+        assert!(post.evicted_buffer_max >= pre.evicted_buffer_max);
+        assert!(post.pattern_buffer_max >= pre.pattern_buffer_max);
+        // Chain survives the swap: LRU can still pick a victim.
+        assert!(e.select_victim(&FxHashSet::default()).is_some());
+        // Memory-full latched → the fallback prefetcher plans only the
+        // faulted page, killing the wasteful traffic.
+        let pt = PageTable::new();
+        assert_eq!(e.plan_prefetch(VirtPage(100), &pt), vec![VirtPage(100)]);
     }
 
     #[test]

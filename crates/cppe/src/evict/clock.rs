@@ -120,7 +120,7 @@ mod tests {
         let mut p = ClockPolicy::new();
         migrate_all(&mut p, &mut ch, 3);
         let _ = p.select_victim(&ch, 0, &FxHashSet::default()); // clears all, picks 0
-        // Re-reference chunk 1 via a fault on one of its pages.
+                                                                // Re-reference chunk 1 via a fault on one of its pages.
         p.on_fault(ChunkId(1).first_page());
         let v = p.select_victim(&ch, 0, &FxHashSet::default());
         // Hand continues from position 1: chunk 1 has its bit set again

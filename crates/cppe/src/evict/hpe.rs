@@ -293,7 +293,10 @@ mod tests {
         p.strategy = HpeStrategy::MruC;
         // MRU-most old chunk is 4 (counter 3, unqualified); first
         // qualified walking MRU→LRU is 3.
-        assert_eq!(p.select_victim(&ch, 2, &FxHashSet::default()), Some(ChunkId(3)));
+        assert_eq!(
+            p.select_victim(&ch, 2, &FxHashSet::default()),
+            Some(ChunkId(3))
+        );
     }
 
     #[test]
@@ -302,7 +305,10 @@ mod tests {
         let ch = chain_with_counters(&[3; 5]);
         p.on_memory_full(&ch);
         p.strategy = HpeStrategy::MruC;
-        assert_eq!(p.select_victim(&ch, 2, &FxHashSet::default()), Some(ChunkId(4)));
+        assert_eq!(
+            p.select_victim(&ch, 2, &FxHashSet::default()),
+            Some(ChunkId(4))
+        );
     }
 
     #[test]

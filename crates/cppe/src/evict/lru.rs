@@ -49,7 +49,10 @@ mod tests {
         ch.insert_tail(ChunkId(10), 0);
         ch.insert_tail(ChunkId(11), 0);
         ch.insert_tail(ChunkId(12), 1);
-        assert_eq!(p.select_victim(&ch, 1, &FxHashSet::default()), Some(ChunkId(10)));
+        assert_eq!(
+            p.select_victim(&ch, 1, &FxHashSet::default()),
+            Some(ChunkId(10))
+        );
     }
 
     #[test]
@@ -59,13 +62,19 @@ mod tests {
         ch.insert_tail(ChunkId(1), 0);
         ch.insert_tail(ChunkId(2), 0);
         ch.insert_tail(ChunkId(1), 1); // chunk 1 re-migrated
-        assert_eq!(p.select_victim(&ch, 1, &FxHashSet::default()), Some(ChunkId(2)));
+        assert_eq!(
+            p.select_victim(&ch, 1, &FxHashSet::default()),
+            Some(ChunkId(2))
+        );
     }
 
     #[test]
     fn empty_chain_gives_none() {
         let mut p = LruPolicy::new();
-        assert_eq!(p.select_victim(&ChunkChain::new(), 0, &FxHashSet::default()), None);
+        assert_eq!(
+            p.select_victim(&ChunkChain::new(), 0, &FxHashSet::default()),
+            None
+        );
     }
 
     #[test]
@@ -81,6 +90,9 @@ mod tests {
         // Next access is chunk 4; capacity forces one eviction. LRU
         // evicts chunk 0 — precisely the chunk the cyclic pattern
         // revisits after 4.
-        assert_eq!(p.select_victim(&ch, 0, &FxHashSet::default()), Some(ChunkId(0)));
+        assert_eq!(
+            p.select_victim(&ch, 0, &FxHashSet::default()),
+            Some(ChunkId(0))
+        );
     }
 }

@@ -331,7 +331,10 @@ mod tests {
         p.on_memory_full(&ch); // fd = 3
         assert_eq!(p.forward_distance(), 3);
         // MRU-most old chunk is 299; skip 3 → 296.
-        assert_eq!(p.select_victim(&ch, 2, &FxHashSet::default()), Some(ChunkId(296)));
+        assert_eq!(
+            p.select_victim(&ch, 2, &FxHashSet::default()),
+            Some(ChunkId(296))
+        );
     }
 
     #[test]
@@ -407,7 +410,7 @@ mod tests {
     fn forward_distance_uses_max_of_untouch_and_wrong() {
         let mut p = MhpePolicy::new();
         p.on_memory_full(&full_chain(300, 0)); // fd = 3
-        // Wrong evictions: evict then fault on the same chunk, 3 times.
+                                               // Wrong evictions: evict then fault on the same chunk, 3 times.
         for i in 0..3u64 {
             p.on_evict(ChunkId(i), 0);
             p.on_fault(ChunkId(i).first_page());
@@ -496,7 +499,10 @@ mod tests {
             p.on_evict(ChunkId(i), 16);
         }
         p.on_interval(1); // switch to LRU
-        assert_eq!(p.select_victim(&ch, 5, &FxHashSet::default()), Some(ChunkId(0)));
+        assert_eq!(
+            p.select_victim(&ch, 5, &FxHashSet::default()),
+            Some(ChunkId(0))
+        );
     }
 
     #[test]

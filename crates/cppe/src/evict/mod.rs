@@ -21,10 +21,10 @@
 pub mod clock;
 pub mod hpe;
 pub mod lru;
-pub mod rrip;
 pub mod mhpe;
 pub mod random;
 pub mod reserved_lru;
+pub mod rrip;
 
 use crate::chain::ChunkChain;
 use gmmu::types::{ChunkId, VirtPage};
@@ -57,7 +57,12 @@ impl MhpeTrace {
     /// (Table III's statistic).
     #[must_use]
     pub fn max_untouch_first4(&self) -> u32 {
-        self.interval_untouch.iter().take(4).copied().max().unwrap_or(0)
+        self.interval_untouch
+            .iter()
+            .take(4)
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total untouch level over the first four intervals (Table IV).

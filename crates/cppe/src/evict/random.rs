@@ -96,6 +96,9 @@ mod tests {
     #[test]
     fn empty_chain_gives_none() {
         let mut p = RandomPolicy::new(0);
-        assert_eq!(p.select_victim(&ChunkChain::new(), 0, &FxHashSet::default()), None);
+        assert_eq!(
+            p.select_victim(&ChunkChain::new(), 0, &FxHashSet::default()),
+            None
+        );
     }
 }

@@ -84,14 +84,20 @@ mod tests {
         let mut p = ReservedLruPolicy::new(20);
         let ch = chain(10);
         // 20% of 10 = 2 chunks protected; victim is position 2.
-        assert_eq!(p.select_victim(&ch, 0, &FxHashSet::default()), Some(ChunkId(2)));
+        assert_eq!(
+            p.select_victim(&ch, 0, &FxHashSet::default()),
+            Some(ChunkId(2))
+        );
     }
 
     #[test]
     fn zero_percent_degenerates_to_lru() {
         let mut p = ReservedLruPolicy::new(0);
         let ch = chain(10);
-        assert_eq!(p.select_victim(&ch, 0, &FxHashSet::default()), Some(ChunkId(0)));
+        assert_eq!(
+            p.select_victim(&ch, 0, &FxHashSet::default()),
+            Some(ChunkId(0))
+        );
     }
 
     #[test]
@@ -106,20 +112,29 @@ mod tests {
         let mut p = ReservedLruPolicy::new(100);
         let ch = chain(4);
         // Reserving everything still must yield a victim (the MRU chunk).
-        assert_eq!(p.select_victim(&ch, 0, &FxHashSet::default()), Some(ChunkId(3)));
+        assert_eq!(
+            p.select_victim(&ch, 0, &FxHashSet::default()),
+            Some(ChunkId(3))
+        );
     }
 
     #[test]
     fn single_chunk_chain() {
         let mut p = ReservedLruPolicy::new(20);
         let ch = chain(1);
-        assert_eq!(p.select_victim(&ch, 0, &FxHashSet::default()), Some(ChunkId(0)));
+        assert_eq!(
+            p.select_victim(&ch, 0, &FxHashSet::default()),
+            Some(ChunkId(0))
+        );
     }
 
     #[test]
     fn empty_chain_gives_none() {
         let mut p = ReservedLruPolicy::new(20);
-        assert_eq!(p.select_victim(&ChunkChain::new(), 0, &FxHashSet::default()), None);
+        assert_eq!(
+            p.select_victim(&ChunkChain::new(), 0, &FxHashSet::default()),
+            None
+        );
     }
 
     #[test]

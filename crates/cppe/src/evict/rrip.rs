@@ -62,10 +62,7 @@ impl EvictPolicy for SrripPolicy {
         _interval: u64,
         exclude: &FxHashSet<ChunkId>,
     ) -> Option<ChunkId> {
-        let candidates: Vec<ChunkId> = chain
-            .iter_lru()
-            .filter(|c| !exclude.contains(c))
-            .collect();
+        let candidates: Vec<ChunkId> = chain.iter_lru().filter(|c| !exclude.contains(c)).collect();
         if candidates.is_empty() {
             return None;
         }

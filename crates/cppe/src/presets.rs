@@ -10,8 +10,8 @@ use crate::evict::hpe::HpePolicy;
 use crate::evict::lru::LruPolicy;
 use crate::evict::mhpe::{MhpeConfig, MhpePolicy};
 use crate::evict::random::RandomPolicy;
-use crate::evict::rrip::SrripPolicy;
 use crate::evict::reserved_lru::ReservedLruPolicy;
+use crate::evict::rrip::SrripPolicy;
 use crate::prefetch::pattern::{DeletionScheme, PatternAwarePrefetcher};
 use crate::prefetch::sequential::SequentialLocalPrefetcher;
 use crate::prefetch::tree::TreeNeighborhoodPrefetcher;

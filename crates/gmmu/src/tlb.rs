@@ -85,7 +85,9 @@ impl Tlb {
         let n_sets = cfg.entries / cfg.associativity;
         Tlb {
             cfg,
-            sets: (0..n_sets).map(|_| Vec::with_capacity(cfg.associativity)).collect(),
+            sets: (0..n_sets)
+                .map(|_| Vec::with_capacity(cfg.associativity))
+                .collect(),
             n_sets,
             tick: 0,
             hits: Counter::default(),
@@ -119,7 +121,10 @@ impl Tlb {
     #[must_use]
     pub fn probe(&self, page: VirtPage) -> Option<Frame> {
         let set = self.set_index(page);
-        self.sets[set].iter().find(|w| w.page == page).map(|w| w.frame)
+        self.sets[set]
+            .iter()
+            .find(|w| w.page == page)
+            .map(|w| w.frame)
     }
 
     /// Install (or refresh) a translation, evicting the set's LRU way if
@@ -146,7 +151,11 @@ impl Tlb {
             let w = ways.swap_remove(lru);
             victim = Some((w.page, w.frame));
         }
-        ways.push(Way { page, frame, stamp: tick });
+        ways.push(Way {
+            page,
+            frame,
+            stamp: tick,
+        });
         victim
     }
 

@@ -293,7 +293,10 @@ mod tests {
         // With 2 slots and 6 walks, the last finishes ~3x after the first.
         let first = outs.iter().min().unwrap();
         let last = outs.iter().max().unwrap();
-        assert!(last.0 >= first.0 + 2 * 410, "no queueing observed: {outs:?}");
+        assert!(
+            last.0 >= first.0 + 2 * 410,
+            "no queueing observed: {outs:?}"
+        );
     }
 
     #[test]

@@ -142,8 +142,7 @@ mod tests {
         let c = node_for(VirtPage(1024), 2);
         pwc.insert(b);
         pwc.insert(c); // must evict exactly one of a/b, not find a dup
-        let present =
-            [a, b, c].iter().filter(|&&n| pwc.lookup(n)).count();
+        let present = [a, b, c].iter().filter(|&&n| pwc.lookup(n)).count();
         assert_eq!(present, 2);
     }
 

@@ -1,6 +1,9 @@
 //! Whole-system configuration (Table I defaults).
 
 use gmmu::translation::TranslationConfig;
+use sim_core::error::ConfigError;
+use sim_core::fault::InjectionConfig;
+use uvm::driver::ResilienceConfig;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +46,13 @@ pub struct GpuConfig {
     /// default; used by the `timeline` experiment to plot policy
     /// dynamics over time).
     pub record_timeline: bool,
+    /// Fault-injection scenario (chaos experiments). Disabled by
+    /// default: no perturbation, no RNG draws, bit-identical runs.
+    pub injection: InjectionConfig,
+    /// Driver resilience: DMA retry budget/backoff and the thrash
+    /// degradation ladder (`degraded_mode`, off by default so the
+    /// paper's crash figures are unchanged).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for GpuConfig {
@@ -61,6 +71,8 @@ impl Default for GpuConfig {
             jitter_seed: 0x6A17_7E12,
             max_cycles: 200_000_000_000,
             record_timeline: false,
+            injection: InjectionConfig::disabled(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -70,6 +82,15 @@ impl GpuConfig {
     #[must_use]
     pub fn lanes(&self) -> usize {
         self.sms * self.warps_per_sm
+    }
+
+    /// Validate the configuration (injection knobs and link bandwidth).
+    ///
+    /// # Errors
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        sim_core::error::require_positive("pcie_gb_per_s", self.pcie_gb_per_s)?;
+        self.injection.validate()
     }
 }
 
@@ -84,5 +105,26 @@ mod tests {
         assert_eq!(c.fault_base_cycles, 28_000);
         assert_eq!(c.pcie_gb_per_s, 16.0);
         assert_eq!(c.lanes(), 112);
+        // Robustness layer is inert by default.
+        assert!(!c.injection.any_enabled());
+        assert!(!c.resilience.degraded_mode);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_injection_knobs() {
+        let c = GpuConfig {
+            injection: InjectionConfig {
+                transfer_failure_prob: 2.0,
+                ..InjectionConfig::disabled()
+            },
+            ..GpuConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = GpuConfig {
+            pcie_gb_per_s: -1.0,
+            ..GpuConfig::default()
+        };
+        assert!(c.validate().is_err());
     }
 }

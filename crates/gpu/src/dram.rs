@@ -104,8 +104,8 @@ impl Dram {
     pub fn access(&mut self, page: VirtPage, now: Cycle) -> u64 {
         let row = page.0 / self.cfg.pages_per_row;
         let ch_idx = (row % self.channels.len() as u64) as usize;
-        let bank_idx = ((row / self.channels.len() as u64)
-            % self.cfg.banks_per_channel as u64) as usize;
+        let bank_idx =
+            ((row / self.channels.len() as u64) % self.cfg.banks_per_channel as u64) as usize;
         let ch = &mut self.channels[ch_idx];
         let bank = &mut ch.banks[bank_idx];
 
@@ -181,7 +181,10 @@ mod tests {
         let stride = cfg.pages_per_row * cfg.channels as u64; // same channel, next bank
         let a = d.access(VirtPage(0), Cycle::ZERO);
         let b = d.access(VirtPage(stride), Cycle::ZERO);
-        assert!(b > a, "second access queues behind the first burst: {b} vs {a}");
+        assert!(
+            b > a,
+            "second access queues behind the first burst: {b} vs {a}"
+        );
         assert_eq!(b - a, cfg.burst_cycles);
     }
 

@@ -18,6 +18,7 @@ use cppe::evict::MhpeTrace;
 use gmmu::translation::{TranslationOutcome, TranslationPath, TranslationStats};
 use gmmu::types::{SmId, VirtPage};
 use sim_core::events::EventQueue;
+use sim_core::fault::{FaultInjector, InjectionStats};
 use sim_core::rng::Xoshiro256ss;
 use sim_core::time::Cycle;
 use uvm::driver::{DriverStats, UvmConfig, UvmDriver};
@@ -28,6 +29,10 @@ use workloads::{AccessStep, LaneItem};
 pub enum Outcome {
     /// Every lane drained its stream.
     Completed,
+    /// Every lane drained its stream, but only after the driver's
+    /// degradation ladder shed prefetch aggressiveness (and possibly
+    /// fell back to the baseline policy pair) to escape thrash.
+    Degraded,
     /// Thrash-death (Fig. 4's MVT/BIC behaviour).
     Crashed,
     /// Hit the `max_cycles` safety stop.
@@ -79,6 +84,18 @@ pub struct RunResult {
     pub pattern_buffer_len: usize,
     /// Per-batch samples (empty unless `GpuConfig::record_timeline`).
     pub timeline: Vec<TimelinePoint>,
+    /// GPU memory capacity the run was given, in frames.
+    pub frames_capacity: u32,
+    /// Free frames at end of run (leak check: capacity − free must
+    /// equal `resident_pages`).
+    pub frames_free: u32,
+    /// Resident pages at end of run.
+    pub resident_pages: u64,
+    /// What the fault injector actually fired during the run.
+    pub injection: InjectionStats,
+    /// Service-path error that ended the run, if any (the run is
+    /// reported as crashed rather than panicking the process).
+    pub error: Option<String>,
 }
 
 impl RunResult {
@@ -86,6 +103,12 @@ impl RunResult {
     #[must_use]
     pub fn completed(&self) -> bool {
         self.outcome == Outcome::Completed
+    }
+
+    /// True when every lane drained its stream, degraded or not.
+    #[must_use]
+    pub fn survived(&self) -> bool {
+        matches!(self.outcome, Outcome::Completed | Outcome::Degraded)
     }
 }
 
@@ -122,9 +145,11 @@ pub fn simulate_accesses(
 /// `footprint_pages` calibrates crash detection.
 ///
 /// # Panics
-/// Panics if `streams` is longer than `cfg.lanes()`, or if lanes carry
-/// inconsistent barrier structure that would deadlock (a lane ending
-/// before a barrier other lanes wait on).
+/// Panics if `streams` is longer than `cfg.lanes()`, if the
+/// configuration is invalid (pre-check with `GpuConfig::validate`), or
+/// if lanes carry inconsistent barrier structure that would deadlock (a
+/// lane ending before a barrier other lanes wait on). Service-path
+/// errors never panic: they end the run with `RunResult::error` set.
 #[must_use]
 pub fn simulate(
     cfg: &GpuConfig,
@@ -158,7 +183,7 @@ pub fn simulate(
         .map(|l| Xoshiro256ss::new(cfg.jitter_seed ^ (l as u64).wrapping_mul(0x9E37_79B9)))
         .collect();
     let mut xlat = TranslationPath::new(&cfg.translation);
-    let mut driver = UvmDriver::new(
+    let mut driver = UvmDriver::with_injection(
         UvmConfig {
             capacity_pages,
             fault_base_cycles: cfg.fault_base_cycles,
@@ -169,7 +194,10 @@ pub fn simulate(
             footprint_pages,
         },
         engine,
-    );
+        FaultInjector::new(cfg.injection),
+        cfg.resilience,
+    )
+    .expect("invalid GPU/UVM configuration — pre-check with GpuConfig::validate");
     let mut caches = DataHierarchy::new(cfg.sms);
     let mut q: EventQueue<Event> = EventQueue::new();
     let mut idx = vec![0usize; streams.len()];
@@ -187,6 +215,7 @@ pub fn simulate(
     let mut outcome = Outcome::Completed;
     let mut end = Cycle::ZERO;
     let mut timeline: Vec<TimelinePoint> = Vec::new();
+    let mut error: Option<String> = None;
 
     while let Some((now, ev)) = q.pop() {
         end = now;
@@ -244,12 +273,22 @@ pub fn simulate(
                         if !driver_busy {
                             driver_busy = true;
                             let faults = std::mem::take(&mut pending_faults);
-                            let r = driver.service_batch(&faults, at, &mut xlat);
+                            let r = match driver.service_batch(&faults, at, &mut xlat) {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    error = Some(e.to_string());
+                                    outcome = Outcome::Crashed;
+                                    break;
+                                }
+                            };
                             if r.crashed {
                                 outcome = Outcome::Crashed;
                                 end = r.done_at;
                                 break;
                             }
+                            // Overflow tail (injected queue-depth limit):
+                            // re-queue for the next batch.
+                            pending_faults.extend(r.deferred);
                             for p in r.evicted {
                                 caches.invalidate(p);
                             }
@@ -289,12 +328,20 @@ pub fn simulate(
                 if !pending_faults.is_empty() {
                     driver_busy = true;
                     let faults = std::mem::take(&mut pending_faults);
-                    let r = driver.service_batch(&faults, now, &mut xlat);
+                    let r = match driver.service_batch(&faults, now, &mut xlat) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            error = Some(e.to_string());
+                            outcome = Outcome::Crashed;
+                            break;
+                        }
+                    };
                     if r.crashed {
                         outcome = Outcome::Crashed;
                         end = r.done_at;
                         break;
                     }
+                    pending_faults.extend(r.deferred);
                     for p in r.evicted {
                         caches.invalidate(p);
                     }
@@ -317,9 +364,15 @@ pub fn simulate(
         }
     }
 
+    if outcome == Outcome::Completed && driver.degraded() {
+        outcome = Outcome::Degraded;
+    }
+
     let translation = xlat.stats();
     let bytes_h2d = driver.pcie().bytes_h2d;
     let bytes_d2h = driver.pcie().bytes_d2h;
+    let frames_free = driver.free_frames();
+    let injection = driver.injector_stats();
     let mhpe = engine_trace(&mut driver);
     let engine = driver.engine();
     RunResult {
@@ -336,6 +389,11 @@ pub fn simulate(
         mhpe,
         pattern_buffer_len: engine.overhead().pattern_buffer_max,
         timeline,
+        frames_capacity: capacity_pages,
+        frames_free,
+        resident_pages: xlat.page_table().resident_count() as u64,
+        injection,
+        error,
     }
 }
 
@@ -489,7 +547,13 @@ mod tests {
     #[test]
     fn empty_streams_complete_instantly() {
         let cfg = tiny_cfg();
-        let r = simulate_accesses(&cfg, PolicyPreset::Baseline.build(0), &[vec![], vec![]], 64, 64);
+        let r = simulate_accesses(
+            &cfg,
+            PolicyPreset::Baseline.build(0),
+            &[vec![], vec![]],
+            64,
+            64,
+        );
         assert_eq!(r.outcome, Outcome::Completed);
         assert_eq!(r.accesses, 0);
         assert_eq!(r.cycles, 0);
@@ -533,7 +597,13 @@ mod tests {
         }
         assert!(r.timeline.iter().all(|p| p.resident_pages <= 64));
 
-        let off = simulate_accesses(&tiny_cfg(), PolicyPreset::Baseline.build(0), &streams, 64, 128);
+        let off = simulate_accesses(
+            &tiny_cfg(),
+            PolicyPreset::Baseline.build(0),
+            &streams,
+            64,
+            128,
+        );
         assert!(off.timeline.is_empty());
     }
 

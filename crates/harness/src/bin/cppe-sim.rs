@@ -145,15 +145,29 @@ fn main() {
         args.rate * 100.0
     );
     println!("outcome           {:?}", r.outcome);
-    println!("cycles            {} ({:.3} ms simulated)", r.cycles, r.cycles as f64 / 1.4e6);
+    println!(
+        "cycles            {} ({:.3} ms simulated)",
+        r.cycles,
+        r.cycles as f64 / 1.4e6
+    );
     println!("accesses          {}", r.accesses);
-    println!("faults            {} ({} serviced, {} coalesced, {} batches)",
-        r.engine.faults, r.driver.faults_serviced, r.driver.coalesced_faults, r.driver.batches);
-    println!("pages migrated    {} ({} prefetched)", r.engine.pages_migrated, r.engine.pages_prefetched);
-    println!("chunk evictions   {} ({} pages, untouch {})",
-        r.engine.chunk_evictions, r.engine.pages_evicted, r.engine.total_untouch);
+    println!(
+        "faults            {} ({} serviced, {} coalesced, {} batches)",
+        r.engine.faults, r.driver.faults_serviced, r.driver.coalesced_faults, r.driver.batches
+    );
+    println!(
+        "pages migrated    {} ({} prefetched)",
+        r.engine.pages_migrated, r.engine.pages_prefetched
+    );
+    println!(
+        "chunk evictions   {} ({} pages, untouch {})",
+        r.engine.chunk_evictions, r.engine.pages_evicted, r.engine.total_untouch
+    );
     println!("wrong evictions   {}", r.wrong_evictions);
-    println!("pcie              {} B in, {} B out", r.bytes_h2d, r.bytes_d2h);
+    println!(
+        "pcie              {} B in, {} B out",
+        r.bytes_h2d, r.bytes_d2h
+    );
     println!(
         "tlb               L1 {}/{} hits, L2 {}/{} hits, {} walks",
         r.translation.l1_hits,

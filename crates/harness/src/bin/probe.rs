@@ -10,9 +10,15 @@ fn main() {
     let spec = registry::by_abbr("SRD").unwrap();
     for fd in [1usize, 8] {
         let lanes = cfg.gpu.lanes();
-        let streams: Vec<_> = (0..lanes).map(|l| spec.lane_items(l, lanes, cfg.scale)).collect();
+        let streams: Vec<_> = (0..lanes)
+            .map(|l| spec.lane_items(l, lanes, cfg.scale))
+            .collect();
         let engine = PolicyEngine::new(
-            Box::new(MhpePolicy::with_config(MhpeConfig { fixed_fd: Some(fd), disable_switch: true, ..MhpeConfig::default() })),
+            Box::new(MhpePolicy::with_config(MhpeConfig {
+                fixed_fd: Some(fd),
+                disable_switch: true,
+                ..MhpeConfig::default()
+            })),
             Box::new(PatternAwarePrefetcher::new()),
         );
         let capacity = harness::capacity_pages(&spec, 0.5, cfg.scale);

@@ -1,6 +1,6 @@
 //! Quick smoke run: one workload, baseline vs CPPE, timing info.
-use harness::{run_cell, ExpConfig};
 use cppe::presets::PolicyPreset;
+use harness::{run_cell, ExpConfig};
 use workloads::registry;
 
 fn main() {
@@ -9,9 +9,16 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.5);
-    let cfg = ExpConfig { scale, ..ExpConfig::default() };
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
     let w = registry::by_abbr(&which).expect("unknown workload");
-    for preset in [PolicyPreset::Baseline, PolicyPreset::Cppe, PolicyPreset::DisablePfOnFull] {
+    for preset in [
+        PolicyPreset::Baseline,
+        PolicyPreset::Cppe,
+        PolicyPreset::DisablePfOnFull,
+    ] {
         for rate in [0.75, 0.5] {
             let t0 = std::time::Instant::now();
             let r = run_cell(&w, preset, rate, &cfg);

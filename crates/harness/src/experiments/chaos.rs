@@ -1,0 +1,214 @@
+//! Extension: resilience under deterministic fault injection.
+//!
+//! Re-runs a pattern-diverse workload subset at 50 % oversubscription
+//! under each chaos scenario (degraded link, transient DMA failures,
+//! far-fault latency spikes, fault-queue overflow, all four combined)
+//! and reports the slowdown relative to the clean run, per policy. A
+//! second section demonstrates the degradation ladder: a workload whose
+//! baseline run thrash-crashes (Fig. 4's failure mode) survives in
+//! degraded mode by shedding prefetch aggressiveness.
+
+use crate::report::Table;
+use crate::runner::{capacity_pages, ExpConfig};
+use cppe::presets::PolicyPreset;
+use gpu::{simulate, GpuConfig, Outcome, RunResult};
+use sim_core::fault::InjectionConfig;
+use uvm::driver::ResilienceConfig;
+use workloads::registry;
+
+/// Pattern-diverse subset (regular / irregular / mixed).
+pub const APPS: [&str; 3] = ["2DC", "KMN", "SRD"];
+
+/// Policies compared under injection.
+pub const PRESETS: [PolicyPreset; 2] = [PolicyPreset::Baseline, PolicyPreset::Cppe];
+
+/// The chaos scenarios, with the clean run first as the reference.
+#[must_use]
+pub fn scenarios(seed: u64) -> Vec<(&'static str, InjectionConfig)> {
+    vec![
+        ("clean", InjectionConfig::disabled()),
+        ("link-degrade", InjectionConfig::link_degradation(seed)),
+        (
+            "dma-fail-5%",
+            InjectionConfig::transient_failures(seed, 0.05),
+        ),
+        ("lat-spikes", InjectionConfig::latency_spikes(seed)),
+        ("queue-32", InjectionConfig::batch_overflow(seed, 32)),
+        ("combined", InjectionConfig::combined(seed)),
+    ]
+}
+
+/// Run one cell under an injection scenario.
+#[must_use]
+pub fn run_injected(
+    abbr: &str,
+    preset: PolicyPreset,
+    cfg: &ExpConfig,
+    injection: InjectionConfig,
+    resilience: ResilienceConfig,
+) -> RunResult {
+    let spec = registry::by_abbr(abbr).expect("known app");
+    let gpu = GpuConfig {
+        injection,
+        resilience,
+        ..cfg.gpu
+    };
+    let lanes = gpu.lanes();
+    let streams: Vec<_> = (0..lanes)
+        .map(|l| spec.lane_items(l, lanes, cfg.scale))
+        .collect();
+    let capacity = capacity_pages(&spec, 0.5, cfg.scale);
+    let engine = preset.build(cfg.seed ^ spec.seed);
+    simulate(&gpu, engine, &streams, capacity, spec.pages(cfg.scale))
+}
+
+fn outcome_tag(o: Outcome) -> &'static str {
+    match o {
+        Outcome::Completed => "",
+        Outcome::Degraded => "*",
+        Outcome::Crashed => "†",
+        Outcome::Timeout => "‡",
+    }
+}
+
+/// Run and render.
+#[must_use]
+pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
+    let mut cols = vec!["app".to_string(), "policy".to_string()];
+    for (name, _) in scenarios(cfg.seed) {
+        cols.push(name.to_string());
+    }
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut table = Table::new(&col_refs);
+
+    for abbr in APPS {
+        for preset in PRESETS {
+            let mut row = vec![abbr.to_string(), preset.label()];
+            let mut clean_cycles = None;
+            for (_, injection) in scenarios(cfg.seed) {
+                let r = run_injected(abbr, preset, cfg, injection, ResilienceConfig::default());
+                let cell = if !r.survived() || r.cycles == 0 {
+                    format!("X{}", outcome_tag(r.outcome))
+                } else if let Some(clean) = clean_cycles {
+                    format!(
+                        "{:.2}x{}",
+                        r.cycles as f64 / clean as f64,
+                        outcome_tag(r.outcome)
+                    )
+                } else {
+                    clean_cycles = Some(r.cycles);
+                    format!("{}", r.cycles)
+                };
+                row.push(cell);
+            }
+            table.row(row);
+        }
+    }
+
+    // Degradation-ladder demonstration: MVT's baseline run dies of
+    // thrash (Fig. 4); in degraded mode the ladder sheds prefetch and
+    // the run finishes.
+    let plain = run_injected(
+        "MVT",
+        PolicyPreset::Baseline,
+        cfg,
+        InjectionConfig::disabled(),
+        ResilienceConfig::default(),
+    );
+    let laddered = run_injected(
+        "MVT",
+        PolicyPreset::Baseline,
+        cfg,
+        InjectionConfig::disabled(),
+        ResilienceConfig::degraded(),
+    );
+    let ladder = format!(
+        "MVT @ 50% (baseline policy): plain driver → {:?}; degraded mode →\n\
+         {:?} in {} cycles (throttle sheds: {}, policy fallbacks: {})",
+        plain.outcome,
+        laddered.outcome,
+        laddered.cycles,
+        laddered.driver.throttle_sheds,
+        laddered.driver.policy_fallbacks,
+    );
+
+    format!(
+        "Chaos (extension) — run time under deterministic fault injection,\n\
+         relative to each policy's clean run; 50% oversubscription,\n\
+         scale={}, injection seed={:#x}\n\n{}\n\
+         Cells: clean column is absolute cycles; others are slowdown\n\
+         factors. * = completed degraded, † = crashed, ‡ = timeout.\n\n\
+         Degradation ladder:\n{}\n",
+        cfg.scale,
+        cfg.seed,
+        table.render(),
+        ladder
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_matches_uninjected_simulate() {
+        // A "clean" scenario cell must be bit-identical to a run that
+        // never heard of the injection layer.
+        let cfg = ExpConfig {
+            scale: 0.25,
+            ..ExpConfig::quick()
+        };
+        let injected = run_injected(
+            "STN",
+            PolicyPreset::Baseline,
+            &cfg,
+            InjectionConfig::disabled(),
+            ResilienceConfig::default(),
+        );
+        let spec = registry::by_abbr("STN").unwrap();
+        let lanes = cfg.gpu.lanes();
+        let streams: Vec<_> = (0..lanes)
+            .map(|l| spec.lane_items(l, lanes, cfg.scale))
+            .collect();
+        let capacity = capacity_pages(&spec, 0.5, cfg.scale);
+        let plain = simulate(
+            &cfg.gpu,
+            PolicyPreset::Baseline.build(cfg.seed ^ spec.seed),
+            &streams,
+            capacity,
+            spec.pages(cfg.scale),
+        );
+        assert_eq!(injected.cycles, plain.cycles);
+        assert_eq!(injected.engine.pages_migrated, plain.engine.pages_migrated);
+    }
+
+    #[test]
+    fn injection_slows_but_does_not_kill() {
+        let cfg = ExpConfig {
+            scale: 0.25,
+            ..ExpConfig::quick()
+        };
+        let clean = run_injected(
+            "STN",
+            PolicyPreset::Baseline,
+            &cfg,
+            InjectionConfig::disabled(),
+            ResilienceConfig::default(),
+        );
+        let hurt = run_injected(
+            "STN",
+            PolicyPreset::Baseline,
+            &cfg,
+            InjectionConfig::combined(cfg.seed),
+            ResilienceConfig::default(),
+        );
+        assert!(clean.survived());
+        assert!(hurt.survived(), "injection must not kill the run");
+        assert!(
+            hurt.cycles >= clean.cycles,
+            "perturbation can only slow things down: {} vs {}",
+            hurt.cycles,
+            clean.cycles
+        );
+    }
+}

@@ -97,6 +97,9 @@ mod tests {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .expect("numeric cell");
-        assert!(first_num < 0.9, "2DC nopf speedup {first_num} should be << 1");
+        assert!(
+            first_num < 0.9,
+            "2DC nopf speedup {first_num} should be << 1"
+        );
     }
 }

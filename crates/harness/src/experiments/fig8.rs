@@ -21,7 +21,11 @@ pub fn collect(
     threads: usize,
 ) -> Vec<(String, &'static str, Option<f64>, Option<f64>)> {
     let specs = registry::all();
-    let jobs = cross(&specs, &[PolicyPreset::Baseline, PolicyPreset::Cppe], &RATES);
+    let jobs = cross(
+        &specs,
+        &[PolicyPreset::Baseline, PolicyPreset::Cppe],
+        &RATES,
+    );
     let results = run_sweep(jobs, cfg, threads);
     specs
         .iter()
@@ -85,15 +89,15 @@ mod tests {
     fn cppe_wins_on_average_and_never_tanks() {
         let cfg = ExpConfig::quick();
         let rows = collect(&cfg, 0);
-        let all: Vec<Option<f64>> = rows
-            .iter()
-            .flat_map(|(_, _, a, b)| [*a, *b])
-            .collect();
+        let all: Vec<Option<f64>> = rows.iter().flat_map(|(_, _, a, b)| [*a, *b]).collect();
         let avg = geomean(&all).expect("some completed runs");
         assert!(avg > 1.05, "CPPE average speedup {avg:.3} should exceed 1");
         for (app, _, s75, s50) in &rows {
             for s in [s75, s50].into_iter().flatten() {
-                assert!(*s > 0.5, "{app}: CPPE must never halve performance ({s:.2})");
+                assert!(
+                    *s > 0.5,
+                    "{app}: CPPE must never halve performance ({s:.2})"
+                );
             }
         }
     }
@@ -104,7 +108,10 @@ mod tests {
         let rows = collect(&cfg, 0);
         for target in ["MVT", "BIC"] {
             let (_, _, s75, s50) = rows.iter().find(|r| r.0 == target).unwrap();
-            assert!(s75.is_none() && s50.is_none(), "{target} baseline must crash");
+            assert!(
+                s75.is_none() && s50.is_none(),
+                "{target} baseline must crash"
+            );
         }
     }
 

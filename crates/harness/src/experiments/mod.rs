@@ -23,9 +23,11 @@
 //! | [`bound`] | extension: policies vs the offline Belady bound |
 //! | [`timeline`] | extension: thrash dynamics over run time (CSV) |
 //! | [`stability`] | extension: jitter-seed robustness of Fig. 8 |
+//! | [`chaos`] | extension: slowdown under deterministic fault injection |
 
 pub mod ablation;
 pub mod bound;
+pub mod chaos;
 pub mod fig10;
 pub mod fig3;
 pub mod fig4;
@@ -35,11 +37,11 @@ pub mod fig9;
 pub mod motivation;
 pub mod overhead;
 pub mod sens;
-pub mod stability;
 pub mod sens2;
+pub mod stability;
 pub mod table3;
-pub mod timeline;
 pub mod table4;
+pub mod timeline;
 
 use crate::runner::ExpConfig;
 

@@ -19,7 +19,12 @@ pub const APPS: [&str; 2] = ["SRD", "B+T"];
 /// Run and render.
 #[must_use]
 pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
-    let mut table = Table::new(&["app", "hpe-nopf/lru-nopf", "hpe-naive-pf/baseline", "cppe/baseline"]);
+    let mut table = Table::new(&[
+        "app",
+        "hpe-nopf/lru-nopf",
+        "hpe-naive-pf/baseline",
+        "cppe/baseline",
+    ]);
     for app in APPS {
         let spec = registry::by_abbr(app).expect("known app");
         let lru_nopf = run_cell(&spec, PolicyPreset::LruNoPf, 0.5, cfg);
@@ -49,7 +54,7 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
 
 #[cfg(test)]
 mod tests {
-    
+
     use cppe::evict::hpe::{HpeClass, HpePolicy};
     use cppe::evict::EvictPolicy;
     use cppe::ChunkChain;

@@ -27,9 +27,7 @@ pub fn run(cfg: &ExpConfig, threads: usize) -> String {
         cfg.scale
     ));
     for rate in [75u32, 50u32] {
-        let mut table = Table::new(&[
-            "app", "chain", "evict-buf", "pattern-buf", "entries", "KB",
-        ]);
+        let mut table = Table::new(&["app", "chain", "evict-buf", "pattern-buf", "entries", "KB"]);
         let mut tot_entries = 0usize;
         let mut pattern_frac = Vec::new();
         for spec in &specs {

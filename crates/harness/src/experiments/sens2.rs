@@ -30,12 +30,7 @@ pub const T1_VALUES: [u32; 5] = [16, 24, 32, 40, 48];
 /// Far-fault base latencies swept, in µs (paper: 20).
 pub const FAULT_US: [u64; 4] = [10, 20, 30, 45];
 
-fn run_with(
-    cfg: &ExpConfig,
-    abbr: &str,
-    engine: PolicyEngine,
-    gpu: &GpuConfig,
-) -> gpu::RunResult {
+fn run_with(cfg: &ExpConfig, abbr: &str, engine: PolicyEngine, gpu: &GpuConfig) -> gpu::RunResult {
     let spec = registry::by_abbr(abbr).expect("known app");
     let lanes = gpu.lanes();
     let streams: Vec<_> = (0..lanes)
@@ -52,12 +47,7 @@ pub fn t1_sweep(cfg: &ExpConfig) -> Vec<(u32, Option<f64>)> {
     for t1 in T1_VALUES {
         let mut speeds = Vec::new();
         for abbr in APPS {
-            let base = run_with(
-                cfg,
-                abbr,
-                PolicyPreset::Baseline.build(cfg.seed),
-                &cfg.gpu,
-            );
+            let base = run_with(cfg, abbr, PolicyPreset::Baseline.build(cfg.seed), &cfg.gpu);
             let engine = PolicyEngine::new(
                 // T2 is disabled here to isolate T1's effect — with the
                 // paper's T2 in place, the cumulative check compensates

@@ -65,7 +65,13 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
     for (app, speeds) in &rows {
         let vals: Vec<f64> = speeds.iter().flatten().copied().collect();
         if vals.is_empty() {
-            table.row(vec![app.clone(), "X".into(), "X".into(), "X".into(), "-".into()]);
+            table.row(vec![
+                app.clone(),
+                "X".into(),
+                "X".into(),
+                "X".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -28,7 +28,13 @@ pub fn run_instrumented(cfg: &ExpConfig, abbr: &str, preset: PolicyPreset) -> Ru
         .map(|l| spec.lane_items(l, lanes, cfg.scale))
         .collect();
     let capacity = capacity_pages(&spec, 0.5, cfg.scale);
-    simulate(&gpu, preset.build(cfg.seed), &streams, capacity, spec.pages(cfg.scale))
+    simulate(
+        &gpu,
+        preset.build(cfg.seed),
+        &streams,
+        capacity,
+        spec.pages(cfg.scale),
+    )
 }
 
 /// CSV of a run's timeline.

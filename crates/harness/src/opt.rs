@@ -228,7 +228,11 @@ mod tests {
                 compute: 0,
             })
         };
-        let lin = linearize(&[vec![a(1), LaneItem::Barrier], vec![], vec![LaneItem::Barrier]]);
+        let lin = linearize(&[
+            vec![a(1), LaneItem::Barrier],
+            vec![],
+            vec![LaneItem::Barrier],
+        ]);
         assert_eq!(lin.len(), 1);
     }
 }

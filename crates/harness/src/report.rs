@@ -46,7 +46,10 @@ impl Table {
                 }
                 let pad = widths[i].saturating_sub(c.len());
                 // Right-align numeric-looking cells, left-align labels.
-                let numeric = c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-' || ch == 'X');
+                let numeric = c
+                    .chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-' || ch == 'X');
                 if numeric && i > 0 {
                     for _ in 0..pad {
                         out.push(' ');
@@ -89,7 +92,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|s| esc(s))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -82,13 +82,7 @@ pub fn run_cell(
         .collect();
     let capacity = capacity_pages(spec, rate, cfg.scale);
     let engine = preset.build(cfg.seed ^ spec.seed);
-    simulate(
-        &cfg.gpu,
-        engine,
-        &streams,
-        capacity,
-        spec.pages(cfg.scale),
-    )
+    simulate(&cfg.gpu, engine, &streams, capacity, spec.pages(cfg.scale))
 }
 
 /// Speedup of `policy` over `base` (cycles ratio). `None` when either

@@ -1,14 +1,16 @@
 //! Parallel sweep executor.
 //!
 //! The evaluation matrix (23 workloads × policies × 2 rates) is
-//! embarrassingly parallel; jobs are distributed over a crossbeam
-//! channel to `std::thread::scope` workers, and results come back keyed
-//! by `(workload, policy-label, rate)` for deterministic assembly.
+//! embarrassingly parallel; jobs are pulled from a shared work queue by
+//! `std::thread::scope` workers, and results come back keyed by
+//! `(workload, policy-label, rate)` for deterministic assembly.
 
 use crate::runner::{run_cell, ExpConfig};
 use cppe::presets::PolicyPreset;
 use gpu::RunResult;
 use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Mutex;
 use workloads::WorkloadSpec;
 
 /// Key identifying one cell: `(workload abbr, policy label, rate in %)`.
@@ -49,24 +51,23 @@ pub fn run_sweep(jobs: Vec<Job>, cfg: &ExpConfig, threads: usize) -> BTreeMap<Ce
     }
     .min(jobs.len().max(1));
 
-    let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
-    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(CellKey, RunResult)>();
-    for job in jobs {
-        job_tx.send(job).expect("queueing job");
-    }
-    drop(job_tx);
+    // A Mutex-wrapped iterator is the work queue (std has no MPMC
+    // channel); results flow back over an mpsc channel.
+    let queue = Mutex::new(jobs.into_iter());
+    let (res_tx, res_rx) = mpsc::channel::<(CellKey, RunResult)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let job_rx = job_rx.clone();
+            let queue = &queue;
             let res_tx = res_tx.clone();
-            scope.spawn(move || {
-                while let Ok(job) = job_rx.recv() {
-                    let key = job.key();
-                    let result = run_cell(&job.spec, job.preset, job.rate, cfg);
-                    if res_tx.send((key, result)).is_err() {
-                        break;
-                    }
+            scope.spawn(move || loop {
+                let Some(job) = queue.lock().expect("sweep queue poisoned").next() else {
+                    break;
+                };
+                let key = job.key();
+                let result = run_cell(&job.spec, job.preset, job.rate, cfg);
+                if res_tx.send((key, result)).is_err() {
+                    break;
                 }
             });
         }
@@ -125,6 +126,9 @@ mod tests {
         let jobs = cross(&[spec], &[PolicyPreset::Baseline], &[0.5]);
         let sweep = run_sweep(jobs, &cfg, 3);
         let cell = &sweep[&("STN".into(), "baseline".into(), 50)];
-        assert_eq!(cell.cycles, serial.cycles, "parallel run must be deterministic");
+        assert_eq!(
+            cell.cycles, serial.cycles,
+            "parallel run must be deterministic"
+        );
     }
 }

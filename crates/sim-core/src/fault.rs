@@ -1,0 +1,429 @@
+//! Deterministic fault injection for chaos/robustness experiments.
+//!
+//! Real UVM drivers survive degraded links, transient DMA failures and
+//! fault-queue pressure; the simulator reproduces those scenarios with a
+//! [`FaultInjector`] — a seed-driven perturbation source the `uvm`
+//! driver consults on its service path. Everything is deterministic:
+//! the same [`InjectionConfig`] (seed included) against the same
+//! workload yields bit-identical timelines, and a *disabled* injector
+//! draws no random numbers and perturbs nothing, so runs without
+//! injection are unchanged down to the cycle.
+//!
+//! Four perturbation axes (§ the failure model in DESIGN.md):
+//!
+//! * **Link degradation** — a square wave of reduced PCIe bandwidth:
+//!   for `degrade_duty` of every `degrade_period_cycles` window the
+//!   link runs at `degrade_factor ×` nominal bandwidth. Purely a
+//!   function of the current cycle, so it needs no RNG.
+//! * **Transient migration failure** — each host→device DMA transfer
+//!   fails with `transfer_failure_prob`; the driver retries with
+//!   bounded exponential backoff (see `uvm::ResilienceConfig`).
+//! * **Far-fault latency spikes** — each fault batch's base service
+//!   latency is multiplied by `latency_spike_factor` with
+//!   `latency_spike_prob` (host-side jitter: IRQ pressure, scheduler).
+//! * **Fault-queue overflow** — batches with more than
+//!   `fault_queue_depth` faults are split; the tail is deferred to the
+//!   next service round.
+
+use crate::error::{require_in_range, require_positive, ConfigError};
+use crate::rng::Xoshiro256ss;
+use crate::time::Cycle;
+
+/// Injection scenario description. `Default` (= [`InjectionConfig::disabled`])
+/// turns every axis off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionConfig {
+    /// Seed for the injector's PRNG stream.
+    pub seed: u64,
+    /// Per-DMA-transfer transient failure probability, in `[0, 1)`.
+    pub transfer_failure_prob: f64,
+    /// Period of the bandwidth-degradation square wave in cycles
+    /// (0 disables degradation windows).
+    pub degrade_period_cycles: u64,
+    /// Fraction of each period spent degraded, in `[0, 1]`.
+    pub degrade_duty: f64,
+    /// Bandwidth multiplier inside a degraded window, in `(0, 1]`.
+    pub degrade_factor: f64,
+    /// Per-batch probability of a far-fault latency spike, in `[0, 1)`.
+    pub latency_spike_prob: f64,
+    /// Multiplier on the base far-fault latency during a spike (≥ 1).
+    pub latency_spike_factor: f64,
+    /// Maximum faults serviced per batch (0 = unlimited); larger
+    /// batches overflow and the tail is deferred.
+    pub fault_queue_depth: usize,
+}
+
+impl Default for InjectionConfig {
+    fn default() -> Self {
+        InjectionConfig::disabled()
+    }
+}
+
+impl InjectionConfig {
+    /// No injection: every axis off. A [`FaultInjector`] built from
+    /// this config never perturbs anything and never draws randomness.
+    #[must_use]
+    pub fn disabled() -> Self {
+        InjectionConfig {
+            seed: 0,
+            transfer_failure_prob: 0.0,
+            degrade_period_cycles: 0,
+            degrade_duty: 0.0,
+            degrade_factor: 1.0,
+            latency_spike_prob: 0.0,
+            latency_spike_factor: 1.0,
+            fault_queue_depth: 0,
+        }
+    }
+
+    /// Scenario: the link spends 30 % of every 2 ms window at a quarter
+    /// of nominal bandwidth (flaky riser / shared-switch contention).
+    #[must_use]
+    pub fn link_degradation(seed: u64) -> Self {
+        InjectionConfig {
+            seed,
+            degrade_period_cycles: 2_800_000, // 2 ms at 1.4 GHz
+            degrade_duty: 0.3,
+            degrade_factor: 0.25,
+            ..InjectionConfig::disabled()
+        }
+    }
+
+    /// Scenario: each migration DMA fails transiently with probability
+    /// `prob` and must be retried by the driver.
+    #[must_use]
+    pub fn transient_failures(seed: u64, prob: f64) -> Self {
+        InjectionConfig {
+            seed,
+            transfer_failure_prob: prob,
+            ..InjectionConfig::disabled()
+        }
+    }
+
+    /// Scenario: 10 % of fault batches take 4× the base far-fault
+    /// latency (host-side service jitter).
+    #[must_use]
+    pub fn latency_spikes(seed: u64) -> Self {
+        InjectionConfig {
+            seed,
+            latency_spike_prob: 0.1,
+            latency_spike_factor: 4.0,
+            ..InjectionConfig::disabled()
+        }
+    }
+
+    /// Scenario: the fault queue holds at most `depth` faults; larger
+    /// batches are split and the tail re-serviced.
+    #[must_use]
+    pub fn batch_overflow(seed: u64, depth: usize) -> Self {
+        InjectionConfig {
+            seed,
+            fault_queue_depth: depth,
+            ..InjectionConfig::disabled()
+        }
+    }
+
+    /// Scenario: all four axes at once (moderate settings).
+    #[must_use]
+    pub fn combined(seed: u64) -> Self {
+        InjectionConfig {
+            seed,
+            transfer_failure_prob: 0.05,
+            degrade_period_cycles: 2_800_000,
+            degrade_duty: 0.2,
+            degrade_factor: 0.5,
+            latency_spike_prob: 0.05,
+            latency_spike_factor: 3.0,
+            fault_queue_depth: 32,
+        }
+    }
+
+    /// Is any perturbation axis active?
+    #[must_use]
+    pub fn any_enabled(&self) -> bool {
+        self.transfer_failure_prob > 0.0
+            || (self.degrade_period_cycles > 0 && self.degrade_duty > 0.0)
+            || self.latency_spike_prob > 0.0
+            || self.fault_queue_depth > 0
+    }
+
+    /// Validate every knob.
+    ///
+    /// # Errors
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_in_range(
+            "transfer_failure_prob",
+            self.transfer_failure_prob,
+            0.0,
+            0.999,
+        )?;
+        require_in_range("degrade_duty", self.degrade_duty, 0.0, 1.0)?;
+        require_positive("degrade_factor", self.degrade_factor)?;
+        require_in_range("degrade_factor", self.degrade_factor, 0.0, 1.0)?;
+        require_in_range("latency_spike_prob", self.latency_spike_prob, 0.0, 0.999)?;
+        if self.latency_spike_factor < 1.0 || !self.latency_spike_factor.is_finite() {
+            return Err(ConfigError::OutOfRange {
+                field: "latency_spike_factor",
+                value: self.latency_spike_factor,
+                min: 1.0,
+                max: f64::INFINITY,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Counters of what the injector actually did this run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionStats {
+    /// DMA transfers that were failed.
+    pub transfer_failures: u64,
+    /// Fault batches that took a latency spike.
+    pub latency_spikes: u64,
+    /// Bandwidth queries answered with a degraded factor.
+    pub degraded_queries: u64,
+}
+
+/// The deterministic perturbation source.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: InjectionConfig,
+    rng: Xoshiro256ss,
+    stats: InjectionStats,
+}
+
+impl FaultInjector {
+    /// Build an injector for a scenario.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] if any knob is out of range.
+    pub fn try_new(cfg: InjectionConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(FaultInjector {
+            rng: Xoshiro256ss::new(cfg.seed ^ 0xFA01_71D3_D00D), // injector stream ≠ jitter stream
+            cfg,
+            stats: InjectionStats::default(),
+        })
+    }
+
+    /// Build an injector for a scenario.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid; use [`FaultInjector::try_new`]
+    /// to handle that case.
+    #[must_use]
+    pub fn new(cfg: InjectionConfig) -> Self {
+        FaultInjector::try_new(cfg).expect("invalid InjectionConfig")
+    }
+
+    /// An injector that never perturbs anything.
+    #[must_use]
+    pub fn disabled() -> Self {
+        FaultInjector::new(InjectionConfig::disabled())
+    }
+
+    /// Is any perturbation axis active?
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.cfg.any_enabled()
+    }
+
+    /// The scenario this injector runs.
+    #[must_use]
+    pub fn config(&self) -> &InjectionConfig {
+        &self.cfg
+    }
+
+    /// What the injector did so far.
+    #[must_use]
+    pub fn stats(&self) -> InjectionStats {
+        self.stats
+    }
+
+    /// Bandwidth multiplier in effect at `now` — 1.0 outside degraded
+    /// windows, `degrade_factor` inside. Purely a function of the cycle
+    /// (square wave), so repeated queries at the same time agree.
+    pub fn bandwidth_factor(&mut self, now: Cycle) -> f64 {
+        if self.cfg.degrade_period_cycles == 0 || self.cfg.degrade_duty <= 0.0 {
+            return 1.0;
+        }
+        let phase = now.0 % self.cfg.degrade_period_cycles;
+        let degraded_until = (self.cfg.degrade_duty * self.cfg.degrade_period_cycles as f64) as u64;
+        if phase < degraded_until {
+            self.stats.degraded_queries += 1;
+            self.cfg.degrade_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Draw the fate of one DMA transfer: true = transient failure.
+    /// Never draws randomness when the axis is off.
+    pub fn transfer_fails(&mut self) -> bool {
+        if self.cfg.transfer_failure_prob <= 0.0 {
+            return false;
+        }
+        let fails = self.rng.gen_bool(self.cfg.transfer_failure_prob);
+        if fails {
+            self.stats.transfer_failures += 1;
+        }
+        fails
+    }
+
+    /// Draw the latency multiplier for one fault batch (1.0 = no
+    /// spike). Never draws randomness when the axis is off.
+    pub fn batch_latency_factor(&mut self) -> f64 {
+        if self.cfg.latency_spike_prob <= 0.0 {
+            return 1.0;
+        }
+        if self.rng.gen_bool(self.cfg.latency_spike_prob) {
+            self.stats.latency_spikes += 1;
+            self.cfg.latency_spike_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Fault-queue capacity, when the overflow axis is active.
+    #[must_use]
+    pub fn queue_depth(&self) -> Option<usize> {
+        if self.cfg.fault_queue_depth > 0 {
+            Some(self.cfg.fault_queue_depth)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_perturbs_nothing() {
+        let mut inj = FaultInjector::disabled();
+        assert!(!inj.enabled());
+        assert_eq!(inj.bandwidth_factor(Cycle(12345)), 1.0);
+        assert!(!inj.transfer_fails());
+        assert_eq!(inj.batch_latency_factor(), 1.0);
+        assert_eq!(inj.queue_depth(), None);
+        assert_eq!(inj.stats(), InjectionStats::default());
+    }
+
+    #[test]
+    fn disabled_injector_draws_no_randomness() {
+        // Two injectors with different seeds but all axes off must
+        // behave identically — proof that no RNG state is consumed.
+        let mut a = FaultInjector::new(InjectionConfig {
+            seed: 1,
+            ..InjectionConfig::disabled()
+        });
+        let mut b = FaultInjector::new(InjectionConfig {
+            seed: 2,
+            ..InjectionConfig::disabled()
+        });
+        for i in 0..100 {
+            assert_eq!(a.transfer_fails(), b.transfer_fails());
+            assert_eq!(a.batch_latency_factor(), b.batch_latency_factor());
+            assert_eq!(
+                a.bandwidth_factor(Cycle(i * 1000)),
+                b.bandwidth_factor(Cycle(i * 1000))
+            );
+        }
+    }
+
+    #[test]
+    fn degradation_square_wave() {
+        let mut inj = FaultInjector::new(InjectionConfig {
+            degrade_period_cycles: 1000,
+            degrade_duty: 0.3,
+            degrade_factor: 0.25,
+            ..InjectionConfig::disabled()
+        });
+        assert_eq!(inj.bandwidth_factor(Cycle(0)), 0.25);
+        assert_eq!(inj.bandwidth_factor(Cycle(299)), 0.25);
+        assert_eq!(inj.bandwidth_factor(Cycle(300)), 1.0);
+        assert_eq!(inj.bandwidth_factor(Cycle(999)), 1.0);
+        assert_eq!(inj.bandwidth_factor(Cycle(1000)), 0.25, "wave repeats");
+        assert_eq!(inj.stats().degraded_queries, 3);
+    }
+
+    #[test]
+    fn transfer_failures_are_seeded_and_deterministic() {
+        let cfg = InjectionConfig::transient_failures(42, 0.25);
+        let mut a = FaultInjector::new(cfg);
+        let mut b = FaultInjector::new(cfg);
+        let fa: Vec<bool> = (0..256).map(|_| a.transfer_fails()).collect();
+        let fb: Vec<bool> = (0..256).map(|_| b.transfer_fails()).collect();
+        assert_eq!(fa, fb, "same seed, same fate sequence");
+        let hits = fa.iter().filter(|&&x| x).count();
+        assert!(hits > 30 && hits < 100, "~25% failure rate, got {hits}/256");
+        assert_eq!(a.stats().transfer_failures, hits as u64);
+
+        let mut c = FaultInjector::new(InjectionConfig::transient_failures(43, 0.25));
+        let fc: Vec<bool> = (0..256).map(|_| c.transfer_fails()).collect();
+        assert_ne!(fa, fc, "different seed, different fates");
+    }
+
+    #[test]
+    fn latency_spikes_counted() {
+        let mut inj = FaultInjector::new(InjectionConfig::latency_spikes(7));
+        let factors: Vec<f64> = (0..200).map(|_| inj.batch_latency_factor()).collect();
+        let spikes = factors.iter().filter(|&&f| f > 1.0).count();
+        assert!(
+            spikes > 5 && spikes < 60,
+            "~10% spike rate, got {spikes}/200"
+        );
+        assert!(factors.iter().all(|&f| f == 1.0 || f == 4.0));
+        assert_eq!(inj.stats().latency_spikes, spikes as u64);
+    }
+
+    #[test]
+    fn queue_depth_surfaces() {
+        assert_eq!(
+            FaultInjector::new(InjectionConfig::batch_overflow(0, 8)).queue_depth(),
+            Some(8)
+        );
+        assert_eq!(FaultInjector::disabled().queue_depth(), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        assert!(InjectionConfig {
+            transfer_failure_prob: 1.5,
+            ..InjectionConfig::disabled()
+        }
+        .validate()
+        .is_err());
+        assert!(InjectionConfig {
+            degrade_factor: 0.0,
+            degrade_period_cycles: 100,
+            ..InjectionConfig::disabled()
+        }
+        .validate()
+        .is_err());
+        assert!(InjectionConfig {
+            latency_spike_factor: 0.5,
+            ..InjectionConfig::disabled()
+        }
+        .validate()
+        .is_err());
+        assert!(InjectionConfig::combined(1).validate().is_ok());
+        assert!(FaultInjector::try_new(InjectionConfig {
+            degrade_duty: 2.0,
+            ..InjectionConfig::disabled()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn scenario_constructors_enable_their_axis() {
+        assert!(!InjectionConfig::disabled().any_enabled());
+        assert!(InjectionConfig::link_degradation(1).any_enabled());
+        assert!(InjectionConfig::transient_failures(1, 0.1).any_enabled());
+        assert!(InjectionConfig::latency_spikes(1).any_enabled());
+        assert!(InjectionConfig::batch_overflow(1, 16).any_enabled());
+        assert!(InjectionConfig::combined(1).any_enabled());
+    }
+}

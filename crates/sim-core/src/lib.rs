@@ -17,17 +17,26 @@
 //! * [`hash`] — an FxHash-style fast hasher plus `FxHashMap`/`FxHashSet`
 //!   aliases (integer-keyed maps are on the simulator's hot path),
 //! * [`bitvec`] — the 16-bit per-chunk touch vector
-//!   ([`TouchVec`]) and a growable bit vector.
+//!   ([`TouchVec`]) and a growable bit vector,
+//! * [`fault`] — the deterministic, seed-driven [`FaultInjector`] used
+//!   by the chaos/robustness experiments (link degradation, transient
+//!   DMA failures, latency spikes, fault-queue overflow),
+//! * [`error`] — typed configuration/substrate errors ([`ConfigError`],
+//!   [`SimError`]) backing the fallible `try_new` constructors.
 
 pub mod bitvec;
+pub mod error;
 pub mod events;
+pub mod fault;
 pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use bitvec::{BitVec, TouchVec};
+pub use error::{ConfigError, SimError};
 pub use events::EventQueue;
+pub use fault::{FaultInjector, InjectionConfig, InjectionStats};
 pub use hash::{FxHashMap, FxHashSet};
 pub use rng::{SplitMix64, Xoshiro256ss};
 pub use stats::{Counter, Histogram, StatSet};

@@ -213,7 +213,10 @@ mod tests {
         // well over a proportional share of the mass.
         assert!(counts[1] > counts[100] * 5);
         let head: u64 = counts[1..=100].iter().sum();
-        assert!(head > 50_000 / 2, "head mass {head} too small for zipf(1.2)");
+        assert!(
+            head > 50_000 / 2,
+            "head mass {head} too small for zipf(1.2)"
+        );
     }
 
     #[test]

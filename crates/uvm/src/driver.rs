@@ -21,12 +21,30 @@
 //! footprint` is declared **crashed**, reproducing the paper's
 //! observation that *MVT* and *BIC* die under the naïve baseline
 //! ("crashed during execution due to severe thrashing").
+//!
+//! # Resilience
+//!
+//! The driver optionally carries a [`FaultInjector`] (chaos scenarios:
+//! degraded link bandwidth, transient DMA failures, far-fault latency
+//! spikes, fault-queue overflow) and a [`ResilienceConfig`] governing
+//! how it survives them: failed migration DMAs are retried with bounded
+//! exponential backoff, oversized batches are split and the tail
+//! deferred, and — when `degraded_mode` is on — the thrash detector
+//! walks a *degradation ladder* before declaring a crash: first halve
+//! prefetch aggressiveness, then fall back to plain LRU + sequential
+//! prefetch (disabled on memory-full), and only if wasteful thrash
+//! persists after both sheds report [`BatchResult::crashed`]. With
+//! injection disabled and `degraded_mode` off (the defaults) every code
+//! path is bit-identical to the original driver.
 
+use crate::error::UvmError;
 use crate::frames::FrameAllocator;
 use crate::pcie::PcieLink;
 use cppe::engine::PolicyEngine;
 use gmmu::translation::TranslationPath;
 use gmmu::types::{VirtPage, PAGES_PER_CHUNK};
+use sim_core::error::{require_positive, ConfigError};
+use sim_core::fault::{FaultInjector, InjectionStats};
 use sim_core::time::Cycle;
 use sim_core::{FxHashSet, TouchVec};
 
@@ -73,6 +91,76 @@ impl UvmConfig {
             footprint_pages,
         }
     }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    /// Returns the first [`ConfigError`] found: a zero-frame pool, a
+    /// non-positive link bandwidth, or a non-finite/negative crash
+    /// fraction. (A fraction *above* 1.0 is legal — it disables crash
+    /// detection, since untouch can never exceed evictions.)
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.capacity_pages == 0 {
+            return Err(ConfigError::Zero {
+                field: "capacity_pages",
+            });
+        }
+        require_positive("pcie_gb_per_s", self.pcie_gb_per_s)?;
+        if !self.crash_untouch_fraction.is_finite() || self.crash_untouch_fraction < 0.0 {
+            return Err(ConfigError::NotPositive {
+                field: "crash_untouch_fraction",
+                value: self.crash_untouch_fraction,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// How the driver responds to injected faults and sustained thrash.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// Retries granted to a failing migration DMA before the plan is
+    /// abandoned and the fault left for the warp to replay.
+    pub max_transfer_retries: u32,
+    /// Backoff before the first retry, in cycles; doubles per attempt.
+    pub backoff_base_cycles: u64,
+    /// Ceiling on a single backoff wait, in cycles.
+    pub backoff_cap_cycles: u64,
+    /// Walk the degradation ladder (throttle prefetch, then fall back to
+    /// the baseline policy pair) before declaring a thrash crash. Off by
+    /// default so the paper's Fig. 4 crash behaviour is untouched.
+    pub degraded_mode: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            max_transfer_retries: 4,
+            backoff_base_cycles: 2_000,
+            backoff_cap_cycles: 64_000,
+            degraded_mode: false,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Default retry budget with the degradation ladder enabled.
+    #[must_use]
+    pub fn degraded() -> Self {
+        ResilienceConfig {
+            degraded_mode: true,
+            ..ResilienceConfig::default()
+        }
+    }
+}
+
+/// Exponential backoff before retry number `attempt` (1-based), bounded
+/// by the configured cap.
+fn backoff_cycles(r: &ResilienceConfig, attempt: u32) -> u64 {
+    let shift = attempt.saturating_sub(1).min(20);
+    r.backoff_base_cycles
+        .saturating_mul(1u64 << shift)
+        .min(r.backoff_cap_cycles)
 }
 
 /// Outcome of one batch service.
@@ -97,6 +185,10 @@ pub struct BatchResult {
     pub migrated: Vec<VirtPage>,
     /// Pages evicted to make room (the GPU-side caches invalidate these).
     pub evicted: Vec<VirtPage>,
+    /// Faults this batch did *not* service: the tail cut off by an
+    /// injected fault-queue overflow. The caller must re-queue them for
+    /// the next batch.
+    pub deferred: Vec<VirtPage>,
     /// Run died of thrash during this batch.
     pub crashed: bool,
 }
@@ -111,6 +203,25 @@ pub struct DriverStats {
     /// Faults that were already resident on arrival (another fault in
     /// the same batch migrated them).
     pub coalesced_faults: u64,
+    /// Migration DMA retries performed (injected transient failures).
+    pub retries: u64,
+    /// Cycles spent waiting out retry backoffs.
+    pub retry_backoff_cycles: u64,
+    /// Injected transfer failures observed (each retry or abort stems
+    /// from one of these).
+    pub injected_transfer_faults: u64,
+    /// Migrations abandoned after the retry budget was spent.
+    pub migrations_aborted: u64,
+    /// Batches whose base latency was inflated by an injected spike.
+    pub latency_spike_batches: u64,
+    /// Batches split because the injected fault-queue depth overflowed.
+    pub batch_splits: u64,
+    /// Faults pushed to a later batch by splits.
+    pub deferred_faults: u64,
+    /// Degradation-ladder shed 1 activations (prefetch throttled).
+    pub throttle_sheds: u64,
+    /// Degradation-ladder shed 2 activations (policy fallback).
+    pub policy_fallbacks: u64,
 }
 
 /// The UVM driver.
@@ -119,27 +230,77 @@ pub struct UvmDriver {
     engine: PolicyEngine,
     frames: FrameAllocator,
     pcie: PcieLink,
+    injector: FaultInjector,
+    resilience: ResilienceConfig,
     crashed: bool,
     /// Start time of the batch currently being serviced (evictions are
     /// charged to the link at this time).
     service_start: Cycle,
+    /// Link bandwidth multiplier for the batch currently being serviced
+    /// (1.0 outside injected degradation windows).
+    service_bw: f64,
+    /// Degradation-ladder rungs climbed (0 = healthy, 1 = prefetch
+    /// throttled, 2 = fallen back to the baseline policy pair).
+    sheds: u32,
+    /// Thrash-detector baselines, reset at each shed so every rung gets
+    /// a fresh window to prove itself.
+    shed_base_evicted: u64,
+    shed_base_untouch: u64,
     /// Driver-level counters.
     pub stats: DriverStats,
 }
 
 impl UvmDriver {
-    /// Build a driver around a policy engine.
+    /// Build a driver around a policy engine. No fault injection,
+    /// default resilience.
+    ///
+    /// # Errors
+    /// Returns [`UvmError::Config`] when `cfg` fails validation.
+    pub fn try_new(cfg: UvmConfig, engine: PolicyEngine) -> Result<Self, UvmError> {
+        UvmDriver::with_injection(
+            cfg,
+            engine,
+            FaultInjector::disabled(),
+            ResilienceConfig::default(),
+        )
+    }
+
+    /// Build a driver around a policy engine. Convenience wrapper over
+    /// [`UvmDriver::try_new`].
+    ///
+    /// # Panics
+    /// Panics when `cfg` fails validation.
     #[must_use]
     pub fn new(cfg: UvmConfig, engine: PolicyEngine) -> Self {
-        UvmDriver {
-            frames: FrameAllocator::new(cfg.capacity_pages),
-            pcie: PcieLink::new(cfg.pcie_gb_per_s),
+        UvmDriver::try_new(cfg, engine).expect("invalid UVM configuration")
+    }
+
+    /// Build a driver with a fault injector and resilience settings.
+    ///
+    /// # Errors
+    /// Returns [`UvmError::Config`] when `cfg` fails validation.
+    pub fn with_injection(
+        cfg: UvmConfig,
+        engine: PolicyEngine,
+        injector: FaultInjector,
+        resilience: ResilienceConfig,
+    ) -> Result<Self, UvmError> {
+        cfg.validate()?;
+        Ok(UvmDriver {
+            frames: FrameAllocator::try_new(cfg.capacity_pages)?,
+            pcie: PcieLink::try_new(cfg.pcie_gb_per_s)?,
+            injector,
+            resilience,
             cfg,
             engine,
             crashed: false,
             service_start: Cycle::ZERO,
+            service_bw: 1.0,
+            sheds: 0,
+            shed_base_evicted: 0,
+            shed_base_untouch: 0,
             stats: DriverStats::default(),
-        }
+        })
     }
 
     /// The policy engine (counters, chain, overhead snapshot).
@@ -171,6 +332,30 @@ impl UvmDriver {
         self.crashed
     }
 
+    /// Has the degradation ladder shed at least once?
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.sheds > 0
+    }
+
+    /// Degradation-ladder rungs climbed (0–2).
+    #[must_use]
+    pub fn sheds(&self) -> u32 {
+        self.sheds
+    }
+
+    /// Injection-side counters (what the injector actually fired).
+    #[must_use]
+    pub fn injector_stats(&self) -> InjectionStats {
+        self.injector.stats()
+    }
+
+    /// The resilience settings in effect.
+    #[must_use]
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
     /// Evict one policy-selected chunk, releasing its frames. Returns
     /// false when no victim is available (empty chain).
     fn evict_one(
@@ -199,7 +384,8 @@ impl UvmDriver {
         // Evicted pages travel back over the device→host lane. We treat
         // every page as dirty: unified-memory migration moves data, and
         // the paper's thrashing metric is eviction traffic.
-        self.pcie.transfer_d2h(u64::from(resident), self.service_start);
+        self.pcie
+            .transfer_d2h_at(u64::from(resident), self.service_start, self.service_bw);
         self.engine.note_evicted(victim, touch, resident);
         true
     }
@@ -209,14 +395,38 @@ impl UvmDriver {
     /// Duplicate pages within the batch (or pages migrated by an
     /// earlier fault of the same batch) are coalesced. Returns the batch
     /// completion time and the pages made resident.
+    ///
+    /// # Errors
+    /// Returns [`UvmError::FramesExhausted`] if the frame pool runs dry
+    /// mid-plan — an internal accounting breach the eviction loop is
+    /// supposed to make impossible, reported instead of panicking.
     pub fn service_batch(
         &mut self,
         faults: &[VirtPage],
         now: Cycle,
         xlat: &mut TranslationPath,
-    ) -> BatchResult {
+    ) -> Result<BatchResult, UvmError> {
         self.stats.batches += 1;
         self.service_start = now;
+        // Perturbations for this batch: link bandwidth multiplier
+        // (square wave of the current cycle) and queue overflow. A
+        // disabled injector yields 1.0 / unlimited and draws no RNG.
+        self.service_bw = self.injector.bandwidth_factor(now);
+        let (faults, deferred) = match self.injector.queue_depth() {
+            Some(depth) if faults.len() > depth => {
+                self.stats.batch_splits += 1;
+                self.stats.deferred_faults += (faults.len() - depth) as u64;
+                (&faults[..depth], faults[depth..].to_vec())
+            }
+            _ => (faults, Vec::new()),
+        };
+        let mut base_cycles = self.cfg.fault_base_cycles;
+        let spike = self.injector.batch_latency_factor();
+        if spike > 1.0 {
+            self.stats.latency_spike_batches += 1;
+            base_cycles = (base_cycles as f64 * spike).round() as u64;
+        }
+
         let mut migrated: Vec<VirtPage> = Vec::new();
         let mut evicted: Vec<VirtPage> = Vec::new();
         let mut completions: Vec<(VirtPage, Cycle)> = Vec::new();
@@ -226,7 +436,7 @@ impl UvmDriver {
         let mut distinct = 0u64;
         // Host-side processing cursor: the 20 µs far-fault round trip,
         // then per-fault handling time, serialized on the host CPU.
-        let mut host_cursor = now.after(self.cfg.fault_base_cycles);
+        let mut host_cursor = now.after(base_cycles);
 
         for &fault in faults {
             if xlat.page_table().is_resident(fault) {
@@ -240,6 +450,36 @@ impl UvmDriver {
             self.stats.faults_serviced += 1;
             if distinct > 1 {
                 host_cursor = host_cursor.after(self.cfg.per_fault_cycles);
+            }
+
+            // Draw this migration's DMA fate *before* any state changes:
+            // injected transient failures cost one backoff each (bounded
+            // exponential), and once the retry budget is spent the plan
+            // is abandoned. Because nothing was pinned, evicted or
+            // mapped yet, an abort needs no rollback — the warp replays
+            // at the backoff end, re-faults on the still-non-resident
+            // page, and the next batch retries the migration afresh.
+            let mut attempts = 1u32;
+            let mut backoff = 0u64;
+            let mut abort = false;
+            while self.injector.transfer_fails() {
+                self.stats.injected_transfer_faults += 1;
+                if attempts > self.resilience.max_transfer_retries {
+                    abort = true;
+                    break;
+                }
+                backoff += backoff_cycles(&self.resilience, attempts);
+                self.stats.retries += 1;
+                attempts += 1;
+            }
+            if backoff > 0 {
+                self.stats.retry_backoff_cycles += backoff;
+                host_cursor = host_cursor.after(backoff);
+            }
+            if abort {
+                self.stats.migrations_aborted += 1;
+                completions.push((fault, host_cursor));
+                continue;
             }
 
             // "Memory full" is visible to the prefetcher before planning:
@@ -286,7 +526,12 @@ impl UvmDriver {
                 let mut n = 0u32;
                 let mut demand = false;
                 while i < plan.len() && plan[i].chunk() == chunk {
-                    let frame = self.frames.alloc().expect("eviction guaranteed room");
+                    let Some(frame) = self.frames.alloc() else {
+                        return Err(UvmError::FramesExhausted {
+                            requested: plan.len() - i,
+                            free: self.frames.free(),
+                        });
+                    };
                     let is_fault = plan[i] == fault;
                     xlat.map(plan[i], frame, is_fault);
                     demand |= is_fault;
@@ -295,7 +540,9 @@ impl UvmDriver {
                 }
                 self.engine.note_migrated(chunk, n, demand);
             }
-            let transfer_done = self.pcie.transfer_h2d(plan.len() as u64, now);
+            let transfer_done = self
+                .pcie
+                .transfer_h2d_at(plan.len() as u64, now, self.service_bw);
             completions.push((fault, host_cursor.max(transfer_done)));
             migrated.extend_from_slice(&plan);
         }
@@ -308,28 +555,65 @@ impl UvmDriver {
             .unwrap_or(host_done)
             .max(host_done);
 
-        // Thrash-death detection (Fig. 4: MVT/BIC die in the baseline):
-        // the run crashes when eviction traffic is both *large* (the
-        // detector arms only past a footprint multiple) and *mostly
-        // useless* (a high fraction of evicted pages was never touched).
-        let st = self.engine.stats;
-        if self.cfg.crash_min_evicted_factor > 0
-            && st.pages_evicted
-                > self.cfg.crash_min_evicted_factor * self.cfg.footprint_pages
-            && (st.total_untouch as f64)
-                > self.cfg.crash_untouch_fraction * st.pages_evicted as f64
-        {
-            self.crashed = true;
-        }
+        self.check_thrash();
 
-        BatchResult {
+        Ok(BatchResult {
             host_done,
             done_at,
             completions,
             migrated,
             evicted,
+            deferred,
             crashed: self.crashed,
+        })
+    }
+
+    /// Thrash-death detection (Fig. 4: MVT/BIC die in the baseline): the
+    /// detector trips when eviction traffic since the last ladder shed
+    /// is both *large* (it arms only past a footprint multiple) and
+    /// *mostly useless* (a high fraction of evicted pages was never
+    /// touched). Tripping crashes the run — unless `degraded_mode` is
+    /// on, in which case the driver first throttles prefetch, then falls
+    /// back to the baseline policy pair, and only crashes if wasteful
+    /// thrash persists past both sheds. Each shed resets the detector's
+    /// baselines so the new rung is judged on fresh traffic.
+    ///
+    /// Disabled when `crash_min_evicted_factor` is 0, when the footprint
+    /// is 0 (nothing to thrash against), or effectively when
+    /// `crash_untouch_fraction > 1.0` (untouch never exceeds evictions).
+    fn check_thrash(&mut self) {
+        if self.cfg.crash_min_evicted_factor == 0 || self.cfg.footprint_pages == 0 {
+            return;
         }
+        let st = self.engine.stats;
+        let evicted = st.pages_evicted - self.shed_base_evicted;
+        let untouch = st.total_untouch - self.shed_base_untouch;
+        let armed = evicted > self.cfg.crash_min_evicted_factor * self.cfg.footprint_pages;
+        let wasteful = (untouch as f64) > self.cfg.crash_untouch_fraction * evicted as f64;
+        if !(armed && wasteful) {
+            return;
+        }
+        if !self.resilience.degraded_mode {
+            self.crashed = true;
+            return;
+        }
+        match self.sheds {
+            0 => {
+                self.engine.shed_prefetch();
+                self.stats.throttle_sheds += 1;
+            }
+            1 => {
+                self.engine.fallback_to_baseline();
+                self.stats.policy_fallbacks += 1;
+            }
+            _ => {
+                self.crashed = true;
+                return;
+            }
+        }
+        self.sheds += 1;
+        self.shed_base_evicted = st.pages_evicted;
+        self.shed_base_untouch = st.total_untouch;
     }
 }
 
@@ -349,7 +633,9 @@ mod tests {
     #[test]
     fn single_fault_migrates_whole_chunk() {
         let (mut d, mut xlat) = setup(256, PolicyPreset::Baseline);
-        let r = d.service_batch(&[VirtPage(5)], Cycle::ZERO, &mut xlat);
+        let r = d
+            .service_batch(&[VirtPage(5)], Cycle::ZERO, &mut xlat)
+            .unwrap();
         assert_eq!(r.migrated.len(), 16);
         assert!(xlat.page_table().is_resident(VirtPage(5)));
         assert!(xlat.page_table().is_resident(VirtPage(0)));
@@ -364,7 +650,9 @@ mod tests {
     #[test]
     fn batch_timing_includes_fault_base_and_pcie() {
         let (mut d, mut xlat) = setup(256, PolicyPreset::Baseline);
-        let r = d.service_batch(&[VirtPage(5)], Cycle::ZERO, &mut xlat);
+        let r = d
+            .service_batch(&[VirtPage(5)], Cycle::ZERO, &mut xlat)
+            .unwrap();
         // Host: 28 000; PCIe h2d of 16 pages: 5 735 — host dominates.
         assert_eq!(r.done_at, Cycle(28_000));
     }
@@ -372,11 +660,13 @@ mod tests {
     #[test]
     fn extra_faults_add_per_fault_cost() {
         let (mut d, mut xlat) = setup(1024, PolicyPreset::Baseline);
-        let r = d.service_batch(
-            &[VirtPage(0), VirtPage(100), VirtPage(200)],
-            Cycle::ZERO,
-            &mut xlat,
-        );
+        let r = d
+            .service_batch(
+                &[VirtPage(0), VirtPage(100), VirtPage(200)],
+                Cycle::ZERO,
+                &mut xlat,
+            )
+            .unwrap();
         // 3 distinct faults → host 28 000 + 2 × 7 000 = 42 000 > PCIe.
         assert_eq!(r.host_done, Cycle(42_000));
         assert_eq!(r.done_at, Cycle(42_000));
@@ -386,11 +676,13 @@ mod tests {
     #[test]
     fn duplicate_faults_coalesce() {
         let (mut d, mut xlat) = setup(256, PolicyPreset::Baseline);
-        let r = d.service_batch(
-            &[VirtPage(5), VirtPage(6), VirtPage(5)],
-            Cycle::ZERO,
-            &mut xlat,
-        );
+        let r = d
+            .service_batch(
+                &[VirtPage(5), VirtPage(6), VirtPage(5)],
+                Cycle::ZERO,
+                &mut xlat,
+            )
+            .unwrap();
         // First fault migrates the chunk; the other two are resident.
         assert_eq!(r.migrated.len(), 16);
         assert_eq!(d.stats.faults_serviced, 1);
@@ -401,10 +693,14 @@ mod tests {
     fn eviction_when_memory_full() {
         // Capacity = 2 chunks. Fill both, then fault a third.
         let (mut d, mut xlat) = setup(32, PolicyPreset::Baseline);
-        d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat);
-        d.service_batch(&[VirtPage(16)], Cycle(100_000), &mut xlat);
+        d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat)
+            .unwrap();
+        d.service_batch(&[VirtPage(16)], Cycle(100_000), &mut xlat)
+            .unwrap();
         assert_eq!(d.free_frames(), 0);
-        let r = d.service_batch(&[VirtPage(32)], Cycle(200_000), &mut xlat);
+        let r = d
+            .service_batch(&[VirtPage(32)], Cycle(200_000), &mut xlat)
+            .unwrap();
         assert_eq!(r.migrated.len(), 16);
         // LRU evicted chunk 0.
         assert!(!xlat.page_table().is_resident(VirtPage(0)));
@@ -419,17 +715,22 @@ mod tests {
         // CPPE end-to-end: touch a stride-2 subset, evict, re-fault →
         // only the pattern pages migrate.
         let (mut d, mut xlat) = setup(32, PolicyPreset::Cppe);
-        d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat);
+        d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat)
+            .unwrap();
         for p in (0..16u64).step_by(2) {
             xlat.mark_touched(VirtPage(p));
         }
-        d.service_batch(&[VirtPage(16)], Cycle(100_000), &mut xlat);
+        d.service_batch(&[VirtPage(16)], Cycle(100_000), &mut xlat)
+            .unwrap();
         // Memory full → fault on chunk 2 evicts chunk 0 (old partition
         // fallback) and records its pattern.
-        d.service_batch(&[VirtPage(32)], Cycle(200_000), &mut xlat);
+        d.service_batch(&[VirtPage(32)], Cycle(200_000), &mut xlat)
+            .unwrap();
         assert!(!xlat.page_table().is_resident(VirtPage(0)));
         // Fault back on page 0 (matches pattern): only 8 pages migrate.
-        let r = d.service_batch(&[VirtPage(0)], Cycle(300_000), &mut xlat);
+        let r = d
+            .service_batch(&[VirtPage(0)], Cycle(300_000), &mut xlat)
+            .unwrap();
         assert_eq!(r.migrated.len(), 8, "pattern-aware partial migration");
         assert!(r.migrated.iter().all(|p| p.0 % 2 == 0));
     }
@@ -437,9 +738,13 @@ mod tests {
     #[test]
     fn disable_on_full_migrates_single_pages() {
         let (mut d, mut xlat) = setup(32, PolicyPreset::DisablePfOnFull);
-        d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat);
-        d.service_batch(&[VirtPage(16)], Cycle(100_000), &mut xlat);
-        let r = d.service_batch(&[VirtPage(32)], Cycle(200_000), &mut xlat);
+        d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat)
+            .unwrap();
+        d.service_batch(&[VirtPage(16)], Cycle(100_000), &mut xlat)
+            .unwrap();
+        let r = d
+            .service_batch(&[VirtPage(32)], Cycle(200_000), &mut xlat)
+            .unwrap();
         assert_eq!(r.migrated, vec![VirtPage(32)]);
     }
 
@@ -463,7 +768,7 @@ mod tests {
             if xlat.page_table().is_resident(page) {
                 continue;
             }
-            let r = d.service_batch(&[page], Cycle(t), &mut xlat);
+            let r = d.service_batch(&[page], Cycle(t), &mut xlat).unwrap();
             t = r.done_at.0 + 1000;
             if r.crashed {
                 crashed = true;
@@ -492,7 +797,7 @@ mod tests {
             if xlat.page_table().is_resident(page) {
                 continue;
             }
-            let r = d.service_batch(&[page], Cycle(t), &mut xlat);
+            let r = d.service_batch(&[page], Cycle(t), &mut xlat).unwrap();
             for p in r.migrated {
                 xlat.mark_touched(p);
             }
@@ -504,18 +809,313 @@ mod tests {
     #[test]
     fn pcie_traffic_accounted() {
         let (mut d, mut xlat) = setup(32, PolicyPreset::Baseline);
-        d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat);
-        d.service_batch(&[VirtPage(16)], Cycle(100_000), &mut xlat);
-        d.service_batch(&[VirtPage(32)], Cycle(200_000), &mut xlat);
+        d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat)
+            .unwrap();
+        d.service_batch(&[VirtPage(16)], Cycle(100_000), &mut xlat)
+            .unwrap();
+        d.service_batch(&[VirtPage(32)], Cycle(200_000), &mut xlat)
+            .unwrap();
         assert_eq!(d.pcie().bytes_h2d, 3 * 16 * 4096);
         assert_eq!(d.pcie().bytes_d2h, 16 * 4096);
+    }
+
+    /// Drive the 3-chunk cyclic wasteful-thrash loop against a 2-chunk
+    /// memory; prefetched pages are never touched, so every eviction is
+    /// 15/16 untouched. Returns whether the run crashed.
+    fn wasteful_thrash(d: &mut UvmDriver, rounds: u64, chunks: u64) -> bool {
+        let mut xlat = TranslationPath::new(&TranslationConfig::default());
+        let mut t = 0u64;
+        for round in 0..rounds {
+            let page = VirtPage((round % chunks) * 16);
+            if xlat.page_table().is_resident(page) {
+                continue;
+            }
+            let r = d.service_batch(&[page], Cycle(t), &mut xlat).unwrap();
+            t = r.done_at.0 + 1000;
+            if r.crashed {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn crash_detection_disabled_by_fraction_above_one() {
+        // untouch can never exceed evictions, so a fraction > 1.0 turns
+        // the detector off even under maximally wasteful thrash.
+        let cfg = UvmConfig {
+            crash_untouch_fraction: 1.5,
+            crash_min_evicted_factor: 1,
+            footprint_pages: 48,
+            ..UvmConfig::table1(32, 48)
+        };
+        let mut d = UvmDriver::new(cfg, PolicyPreset::Baseline.build(0));
+        assert!(!wasteful_thrash(&mut d, 64, 3));
+        assert!(!d.crashed());
+    }
+
+    #[test]
+    fn crash_detection_disabled_by_zero_factor() {
+        let cfg = UvmConfig {
+            crash_untouch_fraction: 0.65,
+            crash_min_evicted_factor: 0,
+            footprint_pages: 48,
+            ..UvmConfig::table1(32, 48)
+        };
+        let mut d = UvmDriver::new(cfg, PolicyPreset::Baseline.build(0));
+        assert!(!wasteful_thrash(&mut d, 64, 3));
+    }
+
+    #[test]
+    fn zero_footprint_disables_detection() {
+        // footprint = 0 would make the arming threshold 0 (any eviction
+        // arms); the detector treats it as "nothing to thrash against"
+        // and stays off — and never divides by a zero footprint.
+        let cfg = UvmConfig {
+            crash_untouch_fraction: 0.65,
+            crash_min_evicted_factor: 1,
+            footprint_pages: 0,
+            ..UvmConfig::table1(32, 0)
+        };
+        let mut d = UvmDriver::new(cfg, PolicyPreset::Baseline.build(0));
+        assert!(!wasteful_thrash(&mut d, 64, 3));
+    }
+
+    #[test]
+    fn invalid_config_reports_typed_error() {
+        let good = UvmConfig::table1(32, 48);
+        assert!(good.validate().is_ok());
+        let e = UvmConfig {
+            capacity_pages: 0,
+            ..good
+        };
+        assert!(UvmDriver::try_new(e, PolicyPreset::Baseline.build(0)).is_err());
+        let e = UvmConfig {
+            pcie_gb_per_s: 0.0,
+            ..good
+        };
+        assert!(matches!(
+            UvmDriver::try_new(e, PolicyPreset::Baseline.build(0)),
+            Err(UvmError::Config(_))
+        ));
+        let e = UvmConfig {
+            crash_untouch_fraction: f64::NAN,
+            ..good
+        };
+        assert!(e.validate().is_err());
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let r = ResilienceConfig::default();
+        assert_eq!(backoff_cycles(&r, 1), 2_000);
+        assert_eq!(backoff_cycles(&r, 2), 4_000);
+        assert_eq!(backoff_cycles(&r, 3), 8_000);
+        assert_eq!(backoff_cycles(&r, 6), 64_000, "hits the cap");
+        assert_eq!(backoff_cycles(&r, 60), 64_000, "huge attempt: no overflow");
+    }
+
+    #[test]
+    fn transient_failures_retry_with_backoff() {
+        use sim_core::fault::InjectionConfig;
+        let cfg = UvmConfig::table1(256, 1024);
+        let inj = FaultInjector::new(InjectionConfig::transient_failures(9, 0.4));
+        let mut d = UvmDriver::with_injection(
+            cfg,
+            PolicyPreset::Baseline.build(7),
+            inj,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        let mut xlat = TranslationPath::new(&TranslationConfig::default());
+        let mut t = 0u64;
+        for i in 0..12u64 {
+            let r = d
+                .service_batch(&[VirtPage(i * 16)], Cycle(t), &mut xlat)
+                .unwrap();
+            t = r.done_at.0 + 1000;
+        }
+        assert!(d.stats.retries > 0, "40% failure rate must force retries");
+        assert!(d.stats.retry_backoff_cycles > 0);
+        assert!(d.injector_stats().transfer_failures >= d.stats.retries);
+        // Every fault still completed: retries are transparent.
+        assert_eq!(d.stats.faults_serviced, 12);
+        assert_eq!(d.stats.migrations_aborted, 0, "budget of 4 always enough");
+    }
+
+    #[test]
+    fn exhausted_retries_abort_without_mutation() {
+        use sim_core::fault::InjectionConfig;
+        let cfg = UvmConfig::table1(256, 1024);
+        let inj = FaultInjector::new(InjectionConfig::transient_failures(3, 0.9));
+        let mut d = UvmDriver::with_injection(
+            cfg,
+            PolicyPreset::Baseline.build(7),
+            inj,
+            ResilienceConfig {
+                max_transfer_retries: 0, // first failure aborts
+                ..ResilienceConfig::default()
+            },
+        )
+        .unwrap();
+        let mut xlat = TranslationPath::new(&TranslationConfig::default());
+        let mut t = 0u64;
+        let mut saw_abort = false;
+        for i in 0..16u64 {
+            let free_before = d.free_frames();
+            let faults_before = d.engine().stats.faults;
+            let page = VirtPage(i * 16);
+            let r = d.service_batch(&[page], Cycle(t), &mut xlat).unwrap();
+            t = r.done_at.0 + 1000;
+            if r.migrated.is_empty() {
+                saw_abort = true;
+                // Abort-before-mutation: nothing pinned, mapped or
+                // evicted, the policy never saw the fault, and the warp
+                // got a completion time to replay at.
+                assert!(!xlat.page_table().is_resident(page));
+                assert_eq!(d.free_frames(), free_before);
+                assert_eq!(d.engine().stats.faults, faults_before);
+                assert_eq!(r.completions.len(), 1);
+                assert!(r.evicted.is_empty());
+            }
+        }
+        assert!(saw_abort, "90% failure with zero retries must abort");
+        assert!(d.stats.migrations_aborted > 0);
+    }
+
+    #[test]
+    fn batch_overflow_splits_and_defers() {
+        use sim_core::fault::InjectionConfig;
+        let cfg = UvmConfig::table1(256, 1024);
+        let inj = FaultInjector::new(InjectionConfig::batch_overflow(0, 2));
+        let mut d = UvmDriver::with_injection(
+            cfg,
+            PolicyPreset::Baseline.build(7),
+            inj,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        let mut xlat = TranslationPath::new(&TranslationConfig::default());
+        let faults: Vec<VirtPage> = (0..5).map(|i| VirtPage(i * 16)).collect();
+        let r = d.service_batch(&faults, Cycle::ZERO, &mut xlat).unwrap();
+        assert_eq!(r.deferred, faults[2..].to_vec());
+        assert_eq!(d.stats.batch_splits, 1);
+        assert_eq!(d.stats.deferred_faults, 3);
+        assert_eq!(d.stats.faults_serviced, 2, "only the head serviced");
+        assert!(xlat.page_table().is_resident(faults[1]));
+        assert!(!xlat.page_table().is_resident(faults[2]));
+        // Re-queue the tail: the deferred faults complete next round.
+        let r2 = d
+            .service_batch(&r.deferred, Cycle(50_000), &mut xlat)
+            .unwrap();
+        assert!(r2.deferred.len() < 3, "tail shrinks every round");
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        use sim_core::fault::InjectionConfig;
+        let run = |seed: u64| {
+            let cfg = UvmConfig::table1(64, 1024);
+            let inj = FaultInjector::new(InjectionConfig::combined(seed));
+            let mut d = UvmDriver::with_injection(
+                cfg,
+                PolicyPreset::Baseline.build(7),
+                inj,
+                ResilienceConfig::default(),
+            )
+            .unwrap();
+            let mut xlat = TranslationPath::new(&TranslationConfig::default());
+            let mut t = 0u64;
+            let mut timeline = Vec::new();
+            for i in 0..24u64 {
+                let r = d
+                    .service_batch(&[VirtPage((i % 6) * 16)], Cycle(t), &mut xlat)
+                    .unwrap();
+                t = r.done_at.0 + 1000;
+                timeline.push(r.done_at.0);
+            }
+            (timeline, d.stats.retries, d.stats.migrations_aborted)
+        };
+        assert_eq!(run(11), run(11), "same seed, same timeline");
+        assert_ne!(run(11).0, run(12).0, "different seed, different timeline");
+    }
+
+    #[test]
+    fn degradation_ladder_sheds_instead_of_crashing() {
+        let cfg = UvmConfig {
+            crash_untouch_fraction: 0.65,
+            crash_min_evicted_factor: 1,
+            footprint_pages: 48,
+            ..UvmConfig::table1(32, 48)
+        };
+        let mut d = UvmDriver::with_injection(
+            cfg,
+            PolicyPreset::Baseline.build(0),
+            FaultInjector::disabled(),
+            ResilienceConfig::degraded(),
+        )
+        .unwrap();
+        // The exact loop that crashes the plain driver (see
+        // crash_detection_fires_on_wasteful_thrash) now survives: the
+        // ladder throttles prefetch, then falls back to LRU+nopf-on-full
+        // whose single-page migrations are always touched — untouch
+        // stops accumulating and the run completes.
+        // Six chunks keep the 2-chunk memory oversubscribed even after
+        // the throttle shrinks plans to 8 pages (6 × 8 > 32 frames), so
+        // wasteful evictions persist into the second trip.
+        assert!(
+            !wasteful_thrash(&mut d, 512, 6),
+            "ladder must prevent the crash"
+        );
+        assert!(d.degraded());
+        assert_eq!(d.sheds(), 2, "both rungs climbed");
+        assert_eq!(d.stats.throttle_sheds, 1);
+        assert_eq!(d.stats.policy_fallbacks, 1);
+        assert!(d.engine().fell_back());
+    }
+
+    #[test]
+    fn ladder_third_trip_crashes() {
+        // White-box: wasteful traffic that persists past both sheds
+        // (counters bumped directly) must still crash — degraded mode
+        // bounds the retries, it does not mask a genuinely dying run.
+        let cfg = UvmConfig {
+            crash_untouch_fraction: 0.5,
+            crash_min_evicted_factor: 1,
+            footprint_pages: 4,
+            ..UvmConfig::table1(32, 4)
+        };
+        let mut d = UvmDriver::with_injection(
+            cfg,
+            PolicyPreset::Baseline.build(0),
+            FaultInjector::disabled(),
+            ResilienceConfig::degraded(),
+        )
+        .unwrap();
+        let mut xlat = TranslationPath::new(&TranslationConfig::default());
+        let mut crashed_at = None;
+        for trip in 0..3 {
+            d.engine_mut().stats.pages_evicted += 100;
+            d.engine_mut().stats.total_untouch += 90;
+            let r = d
+                .service_batch(&[], Cycle(trip * 100_000), &mut xlat)
+                .unwrap();
+            if r.crashed {
+                crashed_at = Some(trip);
+                break;
+            }
+        }
+        assert_eq!(crashed_at, Some(2), "sheds twice, crashes on the third");
+        assert_eq!(d.sheds(), 2);
     }
 
     #[test]
     fn oversized_plan_truncated_to_capacity() {
         // Tree prefetcher could plan more than a tiny memory holds.
         let (mut d, mut xlat) = setup(16, PolicyPreset::Baseline);
-        let r = d.service_batch(&[VirtPage(3)], Cycle::ZERO, &mut xlat);
+        let r = d
+            .service_batch(&[VirtPage(3)], Cycle::ZERO, &mut xlat)
+            .unwrap();
         assert_eq!(r.migrated.len(), 16);
         assert!(r.migrated.contains(&VirtPage(3)));
     }

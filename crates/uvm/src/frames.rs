@@ -6,6 +6,7 @@
 //! 50% of each application's footprint fits in the GPU memory" (§VI).
 
 use gmmu::types::Frame;
+use sim_core::error::ConfigError;
 
 /// Fixed-capacity frame pool with a LIFO free list.
 #[derive(Debug)]
@@ -18,16 +19,29 @@ pub struct FrameAllocator {
 impl FrameAllocator {
     /// Pool of `capacity` frames.
     ///
+    /// # Errors
+    /// Returns [`ConfigError::Zero`] for an empty pool.
+    pub fn try_new(capacity: u32) -> Result<Self, ConfigError> {
+        if capacity == 0 {
+            return Err(ConfigError::Zero {
+                field: "capacity_pages",
+            });
+        }
+        Ok(FrameAllocator {
+            capacity,
+            next_unused: 0,
+            free_list: Vec::new(),
+        })
+    }
+
+    /// Pool of `capacity` frames. Convenience wrapper over
+    /// [`FrameAllocator::try_new`].
+    ///
     /// # Panics
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn new(capacity: u32) -> Self {
-        assert!(capacity > 0, "GPU memory needs at least one frame");
-        FrameAllocator {
-            capacity,
-            next_unused: 0,
-            free_list: Vec::new(),
-        }
+        FrameAllocator::try_new(capacity).expect("GPU memory needs at least one frame")
     }
 
     /// Total frames.
@@ -117,6 +131,13 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_panics() {
         let _ = FrameAllocator::new(0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_error() {
+        assert!(FrameAllocator::try_new(1).is_ok());
+        let err = FrameAllocator::try_new(0).unwrap_err();
+        assert!(err.to_string().contains("capacity_pages"));
     }
 
     #[test]

@@ -9,12 +9,21 @@
 //! * [`pcie`] — the 16 GB/s full-duplex link model,
 //! * [`driver`] — [`UvmDriver`], the fault-batch service loop with the
 //!   20 µs far-fault cost, eviction, touch-bit harvesting and crash
-//!   (thrash-death) detection.
+//!   (thrash-death) detection,
+//! * [`error`] — [`UvmError`], the typed errors of the fallible service
+//!   path (no injection scenario may panic the simulator).
+//!
+//! The driver optionally carries a `sim_core` fault injector plus a
+//! [`ResilienceConfig`]: DMA retries with bounded exponential backoff,
+//! batch splitting under fault-queue overflow, and a thrash degradation
+//! ladder (throttle prefetch → baseline policy fallback → crash).
 
 pub mod driver;
+pub mod error;
 pub mod frames;
 pub mod pcie;
 
-pub use driver::{BatchResult, DriverStats, UvmConfig, UvmDriver};
+pub use driver::{BatchResult, DriverStats, ResilienceConfig, UvmConfig, UvmDriver};
+pub use error::UvmError;
 pub use frames::FrameAllocator;
 pub use pcie::PcieLink;

@@ -9,6 +9,7 @@
 //! not just counters.
 
 use gmmu::types::PAGE_SIZE;
+use sim_core::error::{require_positive, ConfigError};
 use sim_core::time::{transfer_cycles, Cycle};
 
 /// The PCIe-like link.
@@ -26,27 +27,44 @@ pub struct PcieLink {
 impl PcieLink {
     /// Link with `gb_per_s` GB/s per direction (Table I: 16).
     ///
-    /// # Panics
-    /// Panics if the bandwidth is not positive.
-    #[must_use]
-    pub fn new(gb_per_s: f64) -> Self {
-        assert!(gb_per_s > 0.0, "link bandwidth must be positive");
-        PcieLink {
+    /// # Errors
+    /// Returns [`ConfigError::NotPositive`] for a non-positive (or
+    /// non-finite) bandwidth.
+    pub fn try_new(gb_per_s: f64) -> Result<Self, ConfigError> {
+        require_positive("pcie_gb_per_s", gb_per_s)?;
+        Ok(PcieLink {
             gb_per_s,
             h2d_free: Cycle::ZERO,
             d2h_free: Cycle::ZERO,
             bytes_h2d: 0,
             bytes_d2h: 0,
-        }
+        })
+    }
+
+    /// Link with `gb_per_s` GB/s per direction (Table I: 16).
+    /// Convenience wrapper over [`PcieLink::try_new`].
+    ///
+    /// # Panics
+    /// Panics if the bandwidth is not positive.
+    #[must_use]
+    pub fn new(gb_per_s: f64) -> Self {
+        PcieLink::try_new(gb_per_s).expect("link bandwidth must be positive")
     }
 
     /// Enqueue a host→device transfer of `pages` pages at `now`.
     /// Returns its completion time.
     pub fn transfer_h2d(&mut self, pages: u64, now: Cycle) -> Cycle {
+        self.transfer_h2d_at(pages, now, 1.0)
+    }
+
+    /// Host→device transfer under a bandwidth multiplier (fault
+    /// injection: degraded-link windows run at `bw_factor < 1`).
+    pub fn transfer_h2d_at(&mut self, pages: u64, now: Cycle, bw_factor: f64) -> Cycle {
+        debug_assert!(bw_factor > 0.0 && bw_factor <= 1.0);
         let bytes = pages * PAGE_SIZE;
         self.bytes_h2d += bytes;
         let start = self.h2d_free.max(now);
-        let done = start.after(transfer_cycles(bytes, self.gb_per_s));
+        let done = start.after(transfer_cycles(bytes, self.gb_per_s * bw_factor));
         self.h2d_free = done;
         done
     }
@@ -54,10 +72,16 @@ impl PcieLink {
     /// Enqueue a device→host transfer of `pages` pages at `now`.
     /// Returns its completion time.
     pub fn transfer_d2h(&mut self, pages: u64, now: Cycle) -> Cycle {
+        self.transfer_d2h_at(pages, now, 1.0)
+    }
+
+    /// Device→host transfer under a bandwidth multiplier.
+    pub fn transfer_d2h_at(&mut self, pages: u64, now: Cycle, bw_factor: f64) -> Cycle {
+        debug_assert!(bw_factor > 0.0 && bw_factor <= 1.0);
         let bytes = pages * PAGE_SIZE;
         self.bytes_d2h += bytes;
         let start = self.d2h_free.max(now);
-        let done = start.after(transfer_cycles(bytes, self.gb_per_s));
+        let done = start.after(transfer_cycles(bytes, self.gb_per_s * bw_factor));
         self.d2h_free = done;
         done
     }
@@ -128,5 +152,34 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bandwidth_panics() {
         let _ = PcieLink::new(0.0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_error() {
+        assert!(PcieLink::try_new(16.0).is_ok());
+        let err = PcieLink::try_new(0.0).unwrap_err();
+        assert!(err.to_string().contains("pcie_gb_per_s"));
+        assert!(PcieLink::try_new(-4.0).is_err());
+        assert!(PcieLink::try_new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn unit_bandwidth_factor_is_bit_identical() {
+        let mut a = PcieLink::new(16.0);
+        let mut b = PcieLink::new(16.0);
+        for i in 0..32u64 {
+            let ta = a.transfer_h2d(i, Cycle(i * 100));
+            let tb = b.transfer_h2d_at(i, Cycle(i * 100), 1.0);
+            assert_eq!(ta, tb);
+        }
+        assert_eq!(a.bytes_h2d, b.bytes_h2d);
+    }
+
+    #[test]
+    fn degraded_factor_slows_transfers() {
+        let mut l = PcieLink::new(16.0);
+        // 16 pages at quarter bandwidth ≈ 4× the nominal 5735 cycles.
+        let done = l.transfer_h2d_at(16, Cycle::ZERO, 0.25);
+        assert!(done.0 > 4 * 5700 && done.0 < 4 * 5800, "got {done}");
     }
 }

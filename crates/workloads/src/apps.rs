@@ -36,8 +36,18 @@ pub fn hot() -> WorkloadSpec {
         seed: 0x401,
         build: |pages| {
             vec![
-                Phase::Seq { start: 0, len: pages, passes: 1, compute: 700 },
-                Phase::Seq { start: 0, len: frac(pages, 1, 4), passes: 1, compute: 700 },
+                Phase::Seq {
+                    start: 0,
+                    len: pages,
+                    passes: 1,
+                    compute: 700,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: frac(pages, 1, 4),
+                    passes: 1,
+                    compute: 700,
+                },
             ]
         },
     }
@@ -56,7 +66,12 @@ pub fn leu() -> WorkloadSpec {
         pattern: PatternType::Streaming,
         seed: 0x402,
         build: |pages| {
-            vec![Phase::Seq { start: 0, len: pages, passes: 3, compute: 900 }]
+            vec![Phase::Seq {
+                start: 0,
+                len: pages,
+                passes: 3,
+                compute: 900,
+            }]
         },
     }
 }
@@ -72,7 +87,12 @@ pub fn twodc() -> WorkloadSpec {
         pattern: PatternType::Streaming,
         seed: 0x403,
         build: |pages| {
-            vec![Phase::Seq { start: 0, len: pages, passes: 1, compute: 500 }]
+            vec![Phase::Seq {
+                start: 0,
+                len: pages,
+                passes: 1,
+                compute: 500,
+            }]
         },
     }
 }
@@ -88,7 +108,12 @@ pub fn threedc() -> WorkloadSpec {
         pattern: PatternType::Streaming,
         seed: 0x404,
         build: |pages| {
-            vec![Phase::Seq { start: 0, len: pages, passes: 1, compute: 600 }]
+            vec![Phase::Seq {
+                start: 0,
+                len: pages,
+                passes: 1,
+                compute: 600,
+            }]
         },
     }
 }
@@ -108,8 +133,18 @@ pub fn bkp() -> WorkloadSpec {
         seed: 0x405,
         build: |pages| {
             vec![
-                Phase::Seq { start: 0, len: pages, passes: 1, compute: 600 },
-                Phase::Seq { start: 0, len: frac(pages, 1, 3), passes: 2, compute: 600 },
+                Phase::Seq {
+                    start: 0,
+                    len: pages,
+                    passes: 1,
+                    compute: 600,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: frac(pages, 1, 3),
+                    passes: 2,
+                    compute: 600,
+                },
             ]
         },
     }
@@ -129,9 +164,25 @@ pub fn pat() -> WorkloadSpec {
         seed: 0x406,
         build: |pages| {
             vec![
-                Phase::Strided { start: 0, len: pages, stride: 2, passes: 3, compute: 500 },
-                Phase::Seq { start: 0, len: pages, passes: 1, compute: 500 },
-                Phase::Seq { start: 0, len: frac(pages, 1, 2), passes: 1, compute: 500 },
+                Phase::Strided {
+                    start: 0,
+                    len: pages,
+                    stride: 2,
+                    passes: 3,
+                    compute: 500,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: pages,
+                    passes: 1,
+                    compute: 500,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: frac(pages, 1, 2),
+                    passes: 1,
+                    compute: 500,
+                },
             ]
         },
     }
@@ -150,10 +201,31 @@ pub fn dwt() -> WorkloadSpec {
         seed: 0x407,
         build: |pages| {
             vec![
-                Phase::Strided { start: 0, len: pages, stride: 3, passes: 2, compute: 500 },
-                Phase::Seq { start: 0, len: pages, passes: 1, compute: 500 },
-                Phase::Seq { start: 0, len: frac(pages, 1, 2), passes: 1, compute: 500 },
-                Phase::Seq { start: 0, len: frac(pages, 1, 4), passes: 1, compute: 500 },
+                Phase::Strided {
+                    start: 0,
+                    len: pages,
+                    stride: 3,
+                    passes: 2,
+                    compute: 500,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: pages,
+                    passes: 1,
+                    compute: 500,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: frac(pages, 1, 2),
+                    passes: 1,
+                    compute: 500,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: frac(pages, 1, 4),
+                    passes: 1,
+                    compute: 500,
+                },
             ]
         },
     }
@@ -175,8 +247,19 @@ pub fn kmn() -> WorkloadSpec {
             // "Medium-Untouch: ... around half pages receiving no
             // touches" — stride-2 sweeps put KMN exactly there.
             vec![
-                Phase::Strided { start: 0, len: pages, stride: 2, passes: 3, compute: 400 },
-                Phase::Seq { start: 0, len: frac(pages, 1, 4), passes: 1, compute: 400 },
+                Phase::Strided {
+                    start: 0,
+                    len: pages,
+                    stride: 2,
+                    passes: 3,
+                    compute: 400,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: frac(pages, 1, 4),
+                    passes: 1,
+                    compute: 400,
+                },
             ]
         },
     }
@@ -199,11 +282,40 @@ pub fn sad() -> WorkloadSpec {
         seed: 0x409,
         build: |pages| {
             vec![
-                Phase::Strided { start: 0, len: pages, stride: 2, passes: 2, compute: 300 },
-                Phase::Strided { start: 1, len: pages - 1, stride: 2, passes: 2, compute: 300 },
-                Phase::Strided { start: 0, len: pages, stride: 2, passes: 2, compute: 300 },
-                Phase::Strided { start: 1, len: pages - 1, stride: 2, passes: 2, compute: 300 },
-                Phase::Seq { start: 0, len: pages, passes: 1, compute: 300 },
+                Phase::Strided {
+                    start: 0,
+                    len: pages,
+                    stride: 2,
+                    passes: 2,
+                    compute: 300,
+                },
+                Phase::Strided {
+                    start: 1,
+                    len: pages - 1,
+                    stride: 2,
+                    passes: 2,
+                    compute: 300,
+                },
+                Phase::Strided {
+                    start: 0,
+                    len: pages,
+                    stride: 2,
+                    passes: 2,
+                    compute: 300,
+                },
+                Phase::Strided {
+                    start: 1,
+                    len: pages - 1,
+                    stride: 2,
+                    passes: 2,
+                    compute: 300,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: pages,
+                    passes: 1,
+                    compute: 300,
+                },
             ]
         },
     }
@@ -223,8 +335,19 @@ pub fn nw() -> WorkloadSpec {
         seed: 0x40a,
         build: |pages| {
             vec![
-                Phase::Strided { start: 0, len: pages, stride: 2, passes: 4, compute: 300 },
-                Phase::Seq { start: 0, len: frac(pages, 1, 4), passes: 1, compute: 300 },
+                Phase::Strided {
+                    start: 0,
+                    len: pages,
+                    stride: 2,
+                    passes: 4,
+                    compute: 300,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: frac(pages, 1, 4),
+                    passes: 1,
+                    compute: 300,
+                },
             ]
         },
     }
@@ -245,11 +368,36 @@ pub fn bfs() -> WorkloadSpec {
         build: |pages| {
             let half = frac(pages, 1, 2);
             vec![
-                Phase::Random { start: 0, len: pages, count: frac(pages, 1, 8), compute: 250 },
-                Phase::Seq { start: 0, len: pages, passes: 1, compute: 250 },
-                Phase::Random { start: 0, len: half, count: half / 2, compute: 250 },
-                Phase::Seq { start: 0, len: pages, passes: 1, compute: 250 },
-                Phase::Random { start: half, len: pages - half, count: half / 2, compute: 250 },
+                Phase::Random {
+                    start: 0,
+                    len: pages,
+                    count: frac(pages, 1, 8),
+                    compute: 250,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: pages,
+                    passes: 1,
+                    compute: 250,
+                },
+                Phase::Random {
+                    start: 0,
+                    len: half,
+                    count: half / 2,
+                    compute: 250,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: pages,
+                    passes: 1,
+                    compute: 250,
+                },
+                Phase::Random {
+                    start: half,
+                    len: pages - half,
+                    count: half / 2,
+                    compute: 250,
+                },
             ]
         },
     }
@@ -273,8 +421,20 @@ pub fn mvt() -> WorkloadSpec {
         seed: 0x40c,
         build: |pages| {
             vec![
-                Phase::Strided { start: 0, len: pages, stride: 4, passes: 5, compute: 250 },
-                Phase::Strided { start: 1, len: pages - 1, stride: 4, passes: 2, compute: 250 },
+                Phase::Strided {
+                    start: 0,
+                    len: pages,
+                    stride: 4,
+                    passes: 5,
+                    compute: 250,
+                },
+                Phase::Strided {
+                    start: 1,
+                    len: pages - 1,
+                    stride: 4,
+                    passes: 2,
+                    compute: 250,
+                },
             ]
         },
     }
@@ -294,8 +454,20 @@ pub fn bic() -> WorkloadSpec {
         seed: 0x40d,
         build: |pages| {
             vec![
-                Phase::Strided { start: 0, len: pages, stride: 4, passes: 4, compute: 250 },
-                Phase::Strided { start: 2, len: pages - 2, stride: 4, passes: 3, compute: 250 },
+                Phase::Strided {
+                    start: 0,
+                    len: pages,
+                    stride: 4,
+                    passes: 4,
+                    compute: 250,
+                },
+                Phase::Strided {
+                    start: 2,
+                    len: pages - 2,
+                    stride: 4,
+                    passes: 3,
+                    compute: 250,
+                },
             ]
         },
     }
@@ -315,7 +487,12 @@ pub fn srd() -> WorkloadSpec {
         pattern: PatternType::Thrashing,
         seed: 0x40e,
         build: |pages| {
-            vec![Phase::Seq { start: 0, len: pages, passes: 4, compute: 450 }]
+            vec![Phase::Seq {
+                start: 0,
+                len: pages,
+                passes: 4,
+                compute: 450,
+            }]
         },
     }
 }
@@ -332,7 +509,12 @@ pub fn hsd() -> WorkloadSpec {
         pattern: PatternType::Thrashing,
         seed: 0x40f,
         build: |pages| {
-            vec![Phase::Seq { start: 0, len: pages, passes: 6, compute: 400 }]
+            vec![Phase::Seq {
+                start: 0,
+                len: pages,
+                passes: 6,
+                compute: 400,
+            }]
         },
     }
 }
@@ -351,7 +533,12 @@ pub fn mrq() -> WorkloadSpec {
         pattern: PatternType::Thrashing,
         seed: 0x410,
         build: |pages| {
-            vec![Phase::Seq { start: 0, len: pages, passes: 8, compute: 350 }]
+            vec![Phase::Seq {
+                start: 0,
+                len: pages,
+                passes: 8,
+                compute: 350,
+            }]
         },
     }
 }
@@ -367,7 +554,12 @@ pub fn stn() -> WorkloadSpec {
         pattern: PatternType::Thrashing,
         seed: 0x411,
         build: |pages| {
-            vec![Phase::Seq { start: 0, len: pages, passes: 10, compute: 350 }]
+            vec![Phase::Seq {
+                start: 0,
+                len: pages,
+                passes: 10,
+                compute: 350,
+            }]
         },
     }
 }
@@ -389,9 +581,24 @@ pub fn hwl() -> WorkloadSpec {
         build: |pages| {
             let frames = frac(pages, 2, 3);
             vec![
-                Phase::Seq { start: 0, len: frames, passes: 3, compute: 400 },
-                Phase::Random { start: frames, len: pages - frames, count: frac(pages, 1, 2), compute: 400 },
-                Phase::Seq { start: 0, len: frames, passes: 1, compute: 400 },
+                Phase::Seq {
+                    start: 0,
+                    len: frames,
+                    passes: 3,
+                    compute: 400,
+                },
+                Phase::Random {
+                    start: frames,
+                    len: pages - frames,
+                    count: frac(pages, 1, 2),
+                    compute: 400,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: frames,
+                    passes: 1,
+                    compute: 400,
+                },
             ]
         },
     }
@@ -411,8 +618,18 @@ pub fn sgm() -> WorkloadSpec {
         build: |pages| {
             let third = frac(pages, 1, 3);
             vec![
-                Phase::Seq { start: 0, len: pages, passes: 3, compute: 350 },
-                Phase::Seq { start: 0, len: third, passes: 2, compute: 350 },
+                Phase::Seq {
+                    start: 0,
+                    len: pages,
+                    passes: 3,
+                    compute: 350,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: third,
+                    passes: 2,
+                    compute: 350,
+                },
             ]
         },
     }
@@ -433,8 +650,19 @@ pub fn his() -> WorkloadSpec {
         build: |pages| {
             let half = frac(pages, 1, 2);
             vec![
-                Phase::Seq { start: 0, len: half, passes: 2, compute: 350 },
-                Phase::Strided { start: 0, len: pages, stride: 4, passes: 4, compute: 350 },
+                Phase::Seq {
+                    start: 0,
+                    len: half,
+                    passes: 2,
+                    compute: 350,
+                },
+                Phase::Strided {
+                    start: 0,
+                    len: pages,
+                    stride: 4,
+                    passes: 4,
+                    compute: 350,
+                },
             ]
         },
     }
@@ -454,9 +682,24 @@ pub fn spv() -> WorkloadSpec {
         build: |pages| {
             let two_thirds = frac(pages, 2, 3);
             vec![
-                Phase::Seq { start: 0, len: two_thirds, passes: 2, compute: 300 },
-                Phase::Random { start: two_thirds, len: pages - two_thirds, count: pages, compute: 300 },
-                Phase::Seq { start: 0, len: two_thirds, passes: 1, compute: 300 },
+                Phase::Seq {
+                    start: 0,
+                    len: two_thirds,
+                    passes: 2,
+                    compute: 300,
+                },
+                Phase::Random {
+                    start: two_thirds,
+                    len: pages - two_thirds,
+                    count: pages,
+                    compute: 300,
+                },
+                Phase::Seq {
+                    start: 0,
+                    len: two_thirds,
+                    passes: 1,
+                    compute: 300,
+                },
             ]
         },
     }
@@ -514,7 +757,12 @@ pub fn hyb() -> WorkloadSpec {
                     stride: 1,
                     compute: 300,
                 },
-                Phase::Seq { start: 0, len: pages, passes: 1, compute: 300 },
+                Phase::Seq {
+                    start: 0,
+                    len: pages,
+                    passes: 1,
+                    compute: 300,
+                },
             ]
         },
     }
@@ -587,9 +835,29 @@ mod tests {
     #[test]
     fn streams_stay_inside_footprint() {
         for w in [
-            hot(), leu(), twodc(), threedc(), bkp(), pat(), dwt(), kmn(),
-            sad(), nw(), bfs(), mvt(), bic(), srd(), hsd(), mrq(), stn(),
-            hwl(), sgm(), his(), spv(), bpt(), hyb(),
+            hot(),
+            leu(),
+            twodc(),
+            threedc(),
+            bkp(),
+            pat(),
+            dwt(),
+            kmn(),
+            sad(),
+            nw(),
+            bfs(),
+            mvt(),
+            bic(),
+            srd(),
+            hsd(),
+            mrq(),
+            stn(),
+            hwl(),
+            sgm(),
+            his(),
+            spv(),
+            bpt(),
+            hyb(),
         ] {
             for scale in [0.25, 0.5, 1.0] {
                 let pages = w.pages(scale);
@@ -618,7 +886,13 @@ mod tests {
     fn bpt_moves_a_sparse_window() {
         let w = bpt();
         let phases = w.phases(0.5);
-        let Phase::MovingWindow { stride, window, step, .. } = phases[0] else {
+        let Phase::MovingWindow {
+            stride,
+            window,
+            step,
+            ..
+        } = phases[0]
+        else {
             panic!("B+T should be a moving window");
         };
         assert!(stride > 1, "B+T touches the window sparsely (Table III)");

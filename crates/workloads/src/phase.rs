@@ -170,10 +170,7 @@ impl Phase {
     pub fn lane_segments(&self, lane: usize, lanes: usize, seed: u64) -> Vec<Vec<u64>> {
         match *self {
             Phase::Seq {
-                start,
-                len,
-                passes,
-                ..
+                start, len, passes, ..
             } => (0..passes)
                 .map(|p| {
                     lane_blocks_rot(len, lane, lanes, p as u64)
@@ -188,8 +185,9 @@ impl Phase {
                 passes,
                 ..
             } => {
-                let strided: Vec<u64> =
-                    (start..start + len).step_by(stride.max(1) as usize).collect();
+                let strided: Vec<u64> = (start..start + len)
+                    .step_by(stride.max(1) as usize)
+                    .collect();
                 (0..passes)
                     .map(|p| {
                         lane_blocks_rot(strided.len() as u64, lane, lanes, p as u64)
@@ -203,7 +201,9 @@ impl Phase {
             } => {
                 let (_, cnt) = lane_slice(count, lane, lanes);
                 let mut rng = Xoshiro256ss::new(seed ^ (lane as u64).wrapping_mul(0x9E37));
-                vec![(0..cnt).map(|_| start + rng.gen_range(len.max(1))).collect()]
+                vec![(0..cnt)
+                    .map(|_| start + rng.gen_range(len.max(1)))
+                    .collect()]
             }
             Phase::Zipf {
                 start,
@@ -237,9 +237,7 @@ impl Phase {
                 (0..passes)
                     .map(|p| {
                         let mut seg = Vec::new();
-                        for c in (0..cols)
-                            .filter(|c| (c + u64::from(p)) % lanes64 == lane as u64)
-                        {
+                        for c in (0..cols).filter(|c| (c + u64::from(p)) % lanes64 == lane as u64) {
                             for r in 0..rows {
                                 seg.push(start + r * cols + c);
                             }
@@ -264,8 +262,7 @@ impl Phase {
                 let stride = stride.max(1);
                 while pos < len {
                     let w = window.min(len - pos);
-                    let touched: Vec<u64> =
-                        (0..w).step_by(stride as usize).collect();
+                    let touched: Vec<u64> = (0..w).step_by(stride as usize).collect();
                     for rep in 0..reps {
                         segs.push(
                             lane_blocks_rot(touched.len() as u64, lane, lanes, u64::from(rep))
@@ -490,7 +487,10 @@ mod tests {
             compute: 0,
         };
         // Windows [0,1], [2,3], [4,5], each swept twice.
-        assert_eq!(p.lane_pages(0, 1, 0), vec![0, 1, 0, 1, 2, 3, 2, 3, 4, 5, 4, 5]);
+        assert_eq!(
+            p.lane_pages(0, 1, 0),
+            vec![0, 1, 0, 1, 2, 3, 2, 3, 4, 5, 4, 5]
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub fn all() -> Vec<WorkloadSpec> {
 /// Look a benchmark up by its Table II abbreviation (case-insensitive).
 #[must_use]
 pub fn by_abbr(abbr: &str) -> Option<WorkloadSpec> {
-    all().into_iter().find(|w| w.abbr.eq_ignore_ascii_case(abbr))
+    all()
+        .into_iter()
+        .find(|w| w.abbr.eq_ignore_ascii_case(abbr))
 }
 
 /// All benchmarks of one pattern type, in Table II order.
@@ -72,15 +74,13 @@ mod tests {
     #[test]
     fn type_groups_match_table2() {
         use PatternType::*;
-        let group = |p| {
-            by_type(p)
-                .iter()
-                .map(|w| w.abbr)
-                .collect::<Vec<_>>()
-        };
+        let group = |p| by_type(p).iter().map(|w| w.abbr).collect::<Vec<_>>();
         assert_eq!(group(Streaming), vec!["HOT", "LEU", "2DC", "3DC"]);
         assert_eq!(group(PartlyRepetitive), vec!["BKP", "PAT", "DWT", "KMN"]);
-        assert_eq!(group(MostlyRepetitive), vec!["SAD", "NW", "BFS", "MVT", "BIC"]);
+        assert_eq!(
+            group(MostlyRepetitive),
+            vec!["SAD", "NW", "BFS", "MVT", "BIC"]
+        );
         assert_eq!(group(Thrashing), vec!["SRD", "HSD", "MRQ", "STN"]);
         assert_eq!(group(RepetitiveThrashing), vec!["HWL", "SGM", "HIS", "SPV"]);
         assert_eq!(group(RegionMoving), vec!["B+T", "HYB"]);

@@ -12,7 +12,7 @@
 
 use cppe::presets::PolicyPreset;
 use gpu::{simulate, GpuConfig};
-use workloads::{Phase, PatternType, WorkloadSpec};
+use workloads::{PatternType, Phase, WorkloadSpec};
 
 fn my_app() -> WorkloadSpec {
     WorkloadSpec {

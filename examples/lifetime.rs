@@ -28,7 +28,10 @@ fn main() {
     let none = FxHashSet::default();
 
     let lru = chain.select_lru_old(now, &none).unwrap();
-    println!("LRU evicts C{} (lifetime 8: prefetched first, evicted when C9 arrives)", lru.0);
+    println!(
+        "LRU evicts C{} (lifetime 8: prefetched first, evicted when C9 arrives)",
+        lru.0
+    );
     assert_eq!(lru, ChunkId(1));
 
     // MRU considers the old partition (chunks not referenced in the

@@ -52,6 +52,7 @@ fn main() {
             let r = simulate(&gpu, engine, &streams, capacity, pages);
             let cell = match r.outcome {
                 Outcome::Completed => format!("{:>14}", r.cycles),
+                Outcome::Degraded => format!("{:>13}*", r.cycles),
                 Outcome::Crashed => format!("{:>14}", "CRASHED"),
                 Outcome::Timeout => format!("{:>14}", "TIMEOUT"),
             };

@@ -36,7 +36,13 @@ fn barrier_synchronizes_fast_and_slow_lanes() {
     }
     slow.push(LaneItem::Barrier);
     slow.push(access(13, 10));
-    let r = simulate(&cfg, PolicyPreset::Baseline.build(0), &[fast, slow], 256, 32);
+    let r = simulate(
+        &cfg,
+        PolicyPreset::Baseline.build(0),
+        &[fast, slow],
+        256,
+        32,
+    );
     assert_eq!(r.outcome, Outcome::Completed);
     // The run must last at least the slow lane's compute (10 × 50 000).
     assert!(r.cycles > 450_000, "barrier did not hold: {}", r.cycles);
@@ -49,8 +55,7 @@ fn barrier_applies_launch_overhead() {
         launch_overhead_cycles: 100_000,
         ..base
     };
-    let streams =
-        vec![vec![access(0, 10), LaneItem::Barrier, access(1, 10)]];
+    let streams = vec![vec![access(0, 10), LaneItem::Barrier, access(1, 10)]];
     let a = simulate(&base, PolicyPreset::Baseline.build(0), &streams, 256, 32);
     let b = simulate(
         &with_overhead,
@@ -70,10 +75,7 @@ fn barrier_applies_launch_overhead() {
 #[test]
 fn lanes_without_barriers_run_free() {
     let cfg = gpu_cfg();
-    let streams = vec![
-        vec![access(0, 10), access(1, 10)],
-        vec![access(16, 10)],
-    ];
+    let streams = vec![vec![access(0, 10), access(1, 10)], vec![access(16, 10)]];
     let r = simulate(&cfg, PolicyPreset::Baseline.build(0), &streams, 256, 32);
     assert_eq!(r.outcome, Outcome::Completed);
     assert_eq!(r.accesses, 3);
@@ -114,7 +116,13 @@ fn jitter_zero_is_exactly_reproducible_and_jitter_changes_timing() {
             .map(|l| spec.lane_items(l, lanes, 0.25))
             .collect();
         let pages = spec.pages(0.25);
-        simulate(&cfg, PolicyPreset::Cppe.build(1), &streams, (pages / 2) as u32, pages)
+        simulate(
+            &cfg,
+            PolicyPreset::Cppe.build(1),
+            &streams,
+            (pages / 2) as u32,
+            pages,
+        )
     };
     let a = make(0.0, 1);
     let b = make(0.0, 2);
@@ -144,8 +152,20 @@ fn trace_replay_is_equivalent_to_direct_run() {
     assert_eq!(replayed, streams);
 
     let pages = spec.pages(0.25);
-    let direct = simulate(&cfg, PolicyPreset::Cppe.build(3), &streams, (pages / 2) as u32, pages);
-    let replay = simulate(&cfg, PolicyPreset::Cppe.build(3), &replayed, (pages / 2) as u32, pages);
+    let direct = simulate(
+        &cfg,
+        PolicyPreset::Cppe.build(3),
+        &streams,
+        (pages / 2) as u32,
+        pages,
+    );
+    let replay = simulate(
+        &cfg,
+        PolicyPreset::Cppe.build(3),
+        &replayed,
+        (pages / 2) as u32,
+        pages,
+    );
     assert_eq!(direct.cycles, replay.cycles);
     assert_eq!(direct.engine.faults, replay.engine.faults);
 }

@@ -24,7 +24,7 @@ fn completions_cover_every_distinct_fault() {
         VirtPage(200),
         VirtPage(0), // duplicate
     ];
-    let r = d.service_batch(&faults, Cycle::ZERO, &mut xlat);
+    let r = d.service_batch(&faults, Cycle::ZERO, &mut xlat).unwrap();
     // One completion per input fault (the duplicate resolves to the
     // host-cursor time of its coalescing).
     assert_eq!(r.completions.len(), 4);
@@ -39,7 +39,7 @@ fn completions_cover_every_distinct_fault() {
 fn completions_are_pipelined_not_batched() {
     let (mut d, mut xlat) = setup(4096, PolicyPreset::Baseline);
     let faults: Vec<VirtPage> = (0..8).map(|i| VirtPage(i * 16)).collect();
-    let r = d.service_batch(&faults, Cycle::ZERO, &mut xlat);
+    let r = d.service_batch(&faults, Cycle::ZERO, &mut xlat).unwrap();
     let mut times: Vec<u64> = r.completions.iter().map(|&(_, t)| t.0).collect();
     times.sort_unstable();
     // Later faults complete strictly later (host serialization), and the
@@ -58,11 +58,16 @@ fn evictions_prefer_unpinned_chunks() {
     // Capacity 3 chunks; chunks A,B resident; a batch faulting chunk C
     // must evict A or B, never C itself (pinned).
     let (mut d, mut xlat) = setup(48, PolicyPreset::Baseline);
-    d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat);
-    d.service_batch(&[VirtPage(16)], Cycle(200_000), &mut xlat);
-    d.service_batch(&[VirtPage(32)], Cycle(400_000), &mut xlat);
+    d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat)
+        .unwrap();
+    d.service_batch(&[VirtPage(16)], Cycle(200_000), &mut xlat)
+        .unwrap();
+    d.service_batch(&[VirtPage(32)], Cycle(400_000), &mut xlat)
+        .unwrap();
     assert_eq!(d.free_frames(), 0);
-    let r = d.service_batch(&[VirtPage(48)], Cycle(600_000), &mut xlat);
+    let r = d
+        .service_batch(&[VirtPage(48)], Cycle(600_000), &mut xlat)
+        .unwrap();
     assert!(!r.crashed);
     for p in &r.evicted {
         assert!(p.chunk() != VirtPage(48).chunk(), "evicted its own plan");
@@ -76,11 +81,13 @@ fn pinned_fallback_when_everything_is_in_flight() {
     // set covers the whole chain, so the fallback must still find room
     // (by evicting a pinned-but-already-migrated chunk of this batch).
     let (mut d, mut xlat) = setup(32, PolicyPreset::Baseline);
-    let r = d.service_batch(
-        &[VirtPage(0), VirtPage(16), VirtPage(32)],
-        Cycle::ZERO,
-        &mut xlat,
-    );
+    let r = d
+        .service_batch(
+            &[VirtPage(0), VirtPage(16), VirtPage(32)],
+            Cycle::ZERO,
+            &mut xlat,
+        )
+        .unwrap();
     assert!(!r.crashed);
     // All three faulted pages must be resident afterwards... the last
     // migration may have evicted an earlier one, but the *faulted* page
@@ -97,15 +104,19 @@ fn pinned_fallback_when_everything_is_in_flight() {
 #[test]
 fn touch_bits_feed_untouch_accounting() {
     let (mut d, mut xlat) = setup(32, PolicyPreset::Baseline);
-    let r = d.service_batch(&[VirtPage(5)], Cycle::ZERO, &mut xlat);
+    let r = d
+        .service_batch(&[VirtPage(5)], Cycle::ZERO, &mut xlat)
+        .unwrap();
     assert_eq!(r.migrated.len(), 16);
     // Touch 3 extra pages beyond the faulted one.
     for p in [0u64, 1, 2] {
         xlat.mark_touched(VirtPage(p));
     }
-    d.service_batch(&[VirtPage(16)], Cycle(200_000), &mut xlat);
+    d.service_batch(&[VirtPage(16)], Cycle(200_000), &mut xlat)
+        .unwrap();
     // Fault a third chunk → evicts chunk 0 with 4 touched of 16.
-    d.service_batch(&[VirtPage(32)], Cycle(400_000), &mut xlat);
+    d.service_batch(&[VirtPage(32)], Cycle(400_000), &mut xlat)
+        .unwrap();
     assert_eq!(d.engine().stats.chunk_evictions, 1);
     assert_eq!(d.engine().stats.total_untouch, 12);
 }
@@ -119,7 +130,7 @@ fn free_frames_never_leak_across_heavy_churn() {
         if xlat.page_table().is_resident(page) {
             continue;
         }
-        let r = d.service_batch(&[page], Cycle(t), &mut xlat);
+        let r = d.service_batch(&[page], Cycle(t), &mut xlat).unwrap();
         t = r.done_at.0 + 1;
         let resident = xlat.page_table().resident_count() as u32;
         assert_eq!(
@@ -133,9 +144,13 @@ fn free_frames_never_leak_across_heavy_churn() {
 #[test]
 fn chunk_granular_eviction_keeps_whole_chunks_together() {
     let (mut d, mut xlat) = setup(PAGES_PER_CHUNK as u32 * 2, PolicyPreset::Baseline);
-    d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat);
-    d.service_batch(&[VirtPage(16)], Cycle(200_000), &mut xlat);
-    let r = d.service_batch(&[VirtPage(32)], Cycle(400_000), &mut xlat);
+    d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat)
+        .unwrap();
+    d.service_batch(&[VirtPage(16)], Cycle(200_000), &mut xlat)
+        .unwrap();
+    let r = d
+        .service_batch(&[VirtPage(32)], Cycle(400_000), &mut xlat)
+        .unwrap();
     // The evicted pages form exactly one whole chunk.
     assert_eq!(r.evicted.len(), 16);
     let chunk = r.evicted[0].chunk();

@@ -99,7 +99,10 @@ fn claim_reserved_lru_gains_are_limited_on_thrashers() {
         );
         // And it must trail CPPE.
         let cppe = run(abbr, PolicyPreset::Cppe, 0.5);
-        assert!(cppe.cycles < r20.cycles, "{abbr}: CPPE must beat reserved LRU");
+        assert!(
+            cppe.cycles < r20.cycles,
+            "{abbr}: CPPE must beat reserved LRU"
+        );
     }
 }
 

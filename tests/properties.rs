@@ -1,6 +1,12 @@
 //! Property-based tests (proptest) on the core data structures and the
 //! workload generators — cross-crate invariants that unit tests cannot
 //! pin down exhaustively.
+//!
+//! Gated behind the non-default `ext-tests` feature: proptest must come
+//! from crates.io, and the default test suite has to pass with no
+//! registry access. Enabling the feature also requires restoring the
+//! proptest dev-dependency (see the root Cargo.toml).
+#![cfg(feature = "ext-tests")]
 
 use cppe::chain::ChunkChain;
 use cppe::evicted_buffer::EvictedBuffer;
