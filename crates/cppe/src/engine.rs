@@ -43,6 +43,30 @@ pub struct EngineStats {
     pub chain_max_len: usize,
 }
 
+impl EngineStats {
+    /// Counters under their stable telemetry names, in schema order.
+    #[must_use]
+    pub fn metrics(&self) -> [(&'static str, u64); 6] {
+        [
+            ("cppe.faults", self.faults),
+            ("cppe.pages_migrated", self.pages_migrated),
+            ("cppe.pages_prefetched", self.pages_prefetched),
+            ("cppe.chunk_evictions", self.chunk_evictions),
+            ("cppe.pages_evicted", self.pages_evicted),
+            ("cppe.total_untouch", self.total_untouch),
+        ]
+    }
+}
+
+/// Policy pair parked by [`PolicyEngine::fallback_to_baseline`] so the
+/// recovery rung can re-arm it.
+struct SuspendedPolicies {
+    evict: Box<dyn EvictPolicy>,
+    prefetch: Box<dyn Prefetcher>,
+    /// Had the suspended eviction policy seen `on_memory_full`?
+    saw_full: bool,
+}
+
 /// The engine.
 pub struct PolicyEngine {
     chain: ChunkChain,
@@ -57,6 +81,9 @@ pub struct PolicyEngine {
     throttle: u32,
     /// Has the engine fallen back to the baseline policy pair?
     fell_back: bool,
+    /// The original policy pair, parked across a fallback so recovery
+    /// can re-arm it.
+    suspended: Option<SuspendedPolicies>,
     /// Wrong-eviction count carried across a policy fallback.
     wrong_evictions_carry: u64,
     /// Aux-buffer high-water marks carried across a policy fallback.
@@ -82,6 +109,7 @@ impl PolicyEngine {
             intervals_since_full: 0,
             throttle: 1,
             fell_back: false,
+            suspended: None,
             wrong_evictions_carry: 0,
             evicted_buffer_carry: 0,
             pattern_buffer_carry: 0,
@@ -237,8 +265,16 @@ impl PolicyEngine {
         self.pattern_buffer_carry = self
             .pattern_buffer_carry
             .max(self.prefetch.pattern_buffer_max_len());
-        self.evict = Box::new(LruPolicy::new());
-        self.prefetch = Box::new(SequentialLocalPrefetcher::disable_on_full());
+        let evict = std::mem::replace(&mut self.evict, Box::new(LruPolicy::new()));
+        let prefetch = std::mem::replace(
+            &mut self.prefetch,
+            Box::new(SequentialLocalPrefetcher::disable_on_full()),
+        );
+        self.suspended = Some(SuspendedPolicies {
+            evict,
+            prefetch,
+            saw_full: self.memory_full,
+        });
         if self.memory_full {
             self.evict.on_memory_full(&self.chain);
         }
@@ -246,7 +282,47 @@ impl PolicyEngine {
         self.fell_back = true;
     }
 
-    /// Has [`PolicyEngine::fallback_to_baseline`] run?
+    /// Re-arm the policy pair parked by
+    /// [`PolicyEngine::fallback_to_baseline`] (recovery rung: the thrash
+    /// detector has been quiet long enough). Returns `false` when there
+    /// is nothing to restore.
+    ///
+    /// Counter continuity: the fallback pair's wrong evictions and
+    /// buffer high-water marks are retired into the carries; the
+    /// suspended pair's wrong-eviction count was added to the carry at
+    /// fallback time and is deducted again now that the pair reports it
+    /// directly (it cannot have changed while parked), so
+    /// [`PolicyEngine::wrong_evictions`] stays continuous in both
+    /// directions.
+    pub fn restore_policies(&mut self) -> bool {
+        let Some(parked) = self.suspended.take() else {
+            return false;
+        };
+        self.wrong_evictions_carry += self.evict.wrong_evictions();
+        self.wrong_evictions_carry -= parked.evict.wrong_evictions();
+        self.evicted_buffer_carry = self
+            .evicted_buffer_carry
+            .max(self.evict.aux_buffer_max_len());
+        self.pattern_buffer_carry = self
+            .pattern_buffer_carry
+            .max(self.prefetch.pattern_buffer_max_len());
+        self.evict = parked.evict;
+        self.prefetch = parked.prefetch;
+        if self.memory_full && !parked.saw_full {
+            self.evict.on_memory_full(&self.chain);
+        }
+        self.fell_back = false;
+        true
+    }
+
+    /// Step the prefetch throttle back toward full aggressiveness — the
+    /// inverse of one [`PolicyEngine::shed_prefetch`] (recovery rung).
+    pub fn restore_prefetch(&mut self) {
+        self.throttle = (self.throttle / 2).max(1);
+    }
+
+    /// Has [`PolicyEngine::fallback_to_baseline`] run without a
+    /// [`PolicyEngine::restore_policies`] since?
     #[must_use]
     pub fn fell_back(&self) -> bool {
         self.fell_back
@@ -527,6 +603,61 @@ mod tests {
         // faulted page, killing the wasteful traffic.
         let pt = PageTable::new();
         assert_eq!(e.plan_prefetch(VirtPage(100), &pt), vec![VirtPage(100)]);
+    }
+
+    #[test]
+    fn restore_rearms_suspended_policies_with_continuous_counters() {
+        use crate::prefetch::pattern::PatternAwarePrefetcher;
+        let mut e = PolicyEngine::new(
+            Box::new(MhpePolicy::new()),
+            Box::new(PatternAwarePrefetcher::new()),
+        );
+        for i in 0..6 {
+            e.note_migrated(ChunkId(i), 16, true);
+        }
+        e.note_memory_full();
+        e.note_evicted(ChunkId(2), TouchVec::full(), 16);
+        e.note_fault(ChunkId(2).page(0)); // wrong eviction on the originals
+        assert_eq!(e.wrong_evictions(), 1);
+        e.fallback_to_baseline();
+        assert_eq!(e.wrong_evictions(), 1, "monotone through fallback");
+        assert!(e.restore_policies(), "a parked pair was re-armed");
+        assert!(!e.fell_back());
+        assert_eq!(e.name(), "mhpe+pattern-aware-s2", "originals are back");
+        assert_eq!(e.wrong_evictions(), 1, "continuous through restore");
+        assert!(!e.restore_policies(), "nothing left to restore");
+        // The re-armed policies still work against the surviving chain.
+        assert!(e.select_victim(&FxHashSet::default()).is_some());
+    }
+
+    #[test]
+    fn restore_prefetch_steps_throttle_back_down() {
+        let mut e = baseline();
+        e.shed_prefetch();
+        e.shed_prefetch();
+        assert_eq!(e.prefetch_throttle(), 4);
+        e.restore_prefetch();
+        assert_eq!(e.prefetch_throttle(), 2);
+        e.restore_prefetch();
+        assert_eq!(e.prefetch_throttle(), 1);
+        e.restore_prefetch();
+        assert_eq!(e.prefetch_throttle(), 1, "floored at full aggressiveness");
+    }
+
+    #[test]
+    fn stats_metrics_use_stable_dotted_names() {
+        let mut e = baseline();
+        e.note_migrated(ChunkId(0), 16, true);
+        let m = e.stats.metrics();
+        assert_eq!(m[0].0, "cppe.faults");
+        assert!(m.iter().all(|(n, _)| n.starts_with("cppe.")));
+        assert_eq!(
+            m.iter()
+                .find(|(n, _)| *n == "cppe.pages_migrated")
+                .unwrap()
+                .1,
+            16
+        );
     }
 
     #[test]

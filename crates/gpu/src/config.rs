@@ -3,6 +3,7 @@
 use gmmu::translation::TranslationConfig;
 use sim_core::error::ConfigError;
 use sim_core::fault::InjectionConfig;
+use telemetry::TraceConfig;
 use uvm::driver::ResilienceConfig;
 
 /// Simulator configuration.
@@ -53,6 +54,10 @@ pub struct GpuConfig {
     /// degradation ladder (`degraded_mode`, off by default so the
     /// paper's crash figures are unchanged).
     pub resilience: ResilienceConfig,
+    /// Telemetry: typed event tracing plus a per-batch metrics epoch
+    /// sampler. Off by default — a disabled tracer records nothing,
+    /// allocates nothing and leaves runs bit-identical.
+    pub trace: TraceConfig,
 }
 
 impl Default for GpuConfig {
@@ -73,6 +78,7 @@ impl Default for GpuConfig {
             record_timeline: false,
             injection: InjectionConfig::disabled(),
             resilience: ResilienceConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -105,9 +111,10 @@ mod tests {
         assert_eq!(c.fault_base_cycles, 28_000);
         assert_eq!(c.pcie_gb_per_s, 16.0);
         assert_eq!(c.lanes(), 112);
-        // Robustness layer is inert by default.
+        // Robustness and telemetry layers are inert by default.
         assert!(!c.injection.any_enabled());
         assert!(!c.resilience.degraded_mode);
+        assert!(!c.trace.enabled);
         assert!(c.validate().is_ok());
     }
 

@@ -96,6 +96,9 @@ pub struct RunResult {
     /// Service-path error that ended the run, if any (the run is
     /// reported as crashed rather than panicking the process).
     pub error: Option<String>,
+    /// Recorded telemetry: typed event trace plus the per-batch metrics
+    /// epoch series. `None` unless `GpuConfig::trace` enabled it.
+    pub telemetry: Option<telemetry::RunTelemetry>,
 }
 
 impl RunResult {
@@ -198,6 +201,7 @@ pub fn simulate(
         cfg.resilience,
     )
     .expect("invalid GPU/UVM configuration — pre-check with GpuConfig::validate");
+    driver.set_tracer(telemetry::Tracer::new(cfg.trace));
     let mut caches = DataHierarchy::new(cfg.sms);
     let mut q: EventQueue<Event> = EventQueue::new();
     let mut idx = vec![0usize; streams.len()];
@@ -373,6 +377,7 @@ pub fn simulate(
     let bytes_d2h = driver.pcie().bytes_d2h;
     let frames_free = driver.free_frames();
     let injection = driver.injector_stats();
+    let run_telemetry = driver.take_telemetry();
     let mhpe = engine_trace(&mut driver);
     let engine = driver.engine();
     RunResult {
@@ -394,6 +399,7 @@ pub fn simulate(
         resident_pages: xlat.page_table().resident_count() as u64,
         injection,
         error,
+        telemetry: run_telemetry,
     }
 }
 
@@ -605,6 +611,34 @@ mod tests {
             128,
         );
         assert!(off.timeline.is_empty());
+    }
+
+    #[test]
+    fn tracing_attaches_telemetry_with_one_epoch_per_batch() {
+        let cfg = GpuConfig {
+            trace: telemetry::TraceConfig::on(),
+            ..tiny_cfg()
+        };
+        let streams = vec![seq_stream(128, 2, 100)];
+        let r = simulate_accesses(&cfg, PolicyPreset::Baseline.build(0), &streams, 64, 128);
+        let t = r.telemetry.as_ref().expect("tracing was on");
+        assert_eq!(t.series.rows.len() as u64, r.driver.batches);
+        t.series.parity().expect("counter deltas reconcile");
+        assert_eq!(t.series.final_total("driver.batches"), r.driver.batches);
+        assert_eq!(
+            t.series.final_total("cppe.pages_migrated"),
+            r.engine.pages_migrated
+        );
+        assert!(!t.events.is_empty());
+
+        let off = simulate_accesses(
+            &tiny_cfg(),
+            PolicyPreset::Baseline.build(0),
+            &streams,
+            64,
+            128,
+        );
+        assert!(off.telemetry.is_none(), "no telemetry unless asked");
     }
 
     #[test]

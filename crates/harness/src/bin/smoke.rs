@@ -1,18 +1,54 @@
 //! Quick smoke run: one workload, baseline vs CPPE, timing info.
+//!
+//! Usage: `smoke [WORKLOAD] [SCALE] [--trace] [--trace-format F]`.
+//! With tracing on, the CPPE run at 50% oversubscription additionally
+//! exports `results/smoke_timeline.csv`, `results/smoke_summary.json`
+//! and `results/smoke_trace.json` according to the format selection.
+
 use cppe::presets::PolicyPreset;
 use harness::{run_cell, ExpConfig};
+use telemetry::{export, TraceFormat};
 use workloads::registry;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "STN".into());
-    let scale: f64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.5);
-    let cfg = ExpConfig {
+    let mut which = "STN".to_string();
+    let mut scale = 0.5f64;
+    let mut positional = 0;
+    let mut trace = false;
+    let mut format = TraceFormat::Csv;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => trace = true,
+            "--trace-format" => {
+                i += 1;
+                format = args
+                    .get(i)
+                    .map(|s| TraceFormat::parse(s).expect("bad --trace-format"))
+                    .expect("--trace-format needs csv|json|chrome|all");
+                trace = true;
+            }
+            other => {
+                match positional {
+                    0 => which = other.to_string(),
+                    1 => scale = other.parse().expect("SCALE must be a number"),
+                    _ => panic!("unexpected argument: {other}"),
+                }
+                positional += 1;
+            }
+        }
+        i += 1;
+    }
+
+    let mut cfg = ExpConfig {
         scale,
         ..ExpConfig::default()
     };
+    cfg.gpu.trace.enabled = trace;
+    cfg.trace_format = format;
+
     let w = registry::by_abbr(&which).expect("unknown workload");
     for preset in [
         PolicyPreset::Baseline,
@@ -29,6 +65,29 @@ fn main() {
                 w.abbr, preset.label(), rate, r.outcome, r.cycles,
                 r.driver.faults_serviced, r.engine.chunk_evictions, frac, vol, t0.elapsed()
             );
+            if trace && preset == PolicyPreset::Cppe && rate == 0.5 {
+                let t = r.telemetry.as_ref().expect("traced run has telemetry");
+                if format.wants_csv() {
+                    save("smoke_timeline.csv", &export::timeline_csv(&t.series));
+                }
+                if format.wants_json() {
+                    let outcome = format!("{:?}", r.outcome).to_lowercase();
+                    save(
+                        "smoke_summary.json",
+                        &export::run_summary_json(&outcome, r.cycles, t),
+                    );
+                }
+                if format.wants_chrome() {
+                    save("smoke_trace.json", &export::chrome_trace_json(t));
+                }
+            }
         }
+    }
+}
+
+fn save(name: &str, content: &str) {
+    match harness::report::save(name, content) {
+        Ok(path) => eprintln!("[smoke] saved {}", path.display()),
+        Err(e) => eprintln!("[smoke] could not save {name}: {e}"),
     }
 }

@@ -1,5 +1,7 @@
 //! Extension: eviction-traffic timeline. Usage:
-//! `cargo run --release -p harness --bin timeline [--quick] [--scale X]`
+//! `cargo run --release -p harness --bin timeline [--quick] [--scale X]
+//! [--trace-format csv|json|chrome|all]` (the timeline always traces;
+//! the format flag selects which artifacts land in `results/`).
 fn main() {
     harness::experiments::binary_main("timeline", |cfg, threads| {
         harness::experiments::timeline::run(cfg, threads)

@@ -1,0 +1,58 @@
+//! Validate exported trace artifacts: every `results/*.csv` must parse
+//! as rectangular RFC-4180 CSV and every `results/*.json` as
+//! well-formed JSON, through the same `telemetry` parsers the golden
+//! tests use. CI runs this after the traced smoke/timeline runs;
+//! exits non-zero on the first malformed artifact.
+//!
+//! Usage: `validate-trace [DIR]` (default `results`).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let dir = Path::new(&dir);
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("[validate-trace] cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut checked = 0usize;
+    let mut failed = 0usize;
+    let mut names: Vec<_> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    names.sort();
+
+    for path in names {
+        let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        let verdict = match ext {
+            "csv" => std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|s| telemetry::csv::validate(&s).map(|cols| cols.len().to_string())),
+            "json" => std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|s| telemetry::json::validate(&s).map(|()| "ok".to_string())),
+            _ => continue,
+        };
+        checked += 1;
+        match verdict {
+            Ok(detail) => println!("[validate-trace] OK   {} ({detail})", path.display()),
+            Err(e) => {
+                failed += 1;
+                eprintln!("[validate-trace] FAIL {}: {e}", path.display());
+            }
+        }
+    }
+
+    println!("[validate-trace] {checked} artifacts checked, {failed} failed");
+    if failed > 0 || checked == 0 {
+        if checked == 0 {
+            eprintln!("[validate-trace] no .csv/.json artifacts found — nothing validated");
+        }
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

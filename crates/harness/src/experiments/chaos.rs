@@ -8,7 +8,7 @@
 //! baseline run thrash-crashes (Fig. 4's failure mode) survives in
 //! degraded mode by shedding prefetch aggressiveness.
 
-use crate::report::Table;
+use crate::report::{save, Table};
 use crate::runner::{capacity_pages, ExpConfig};
 use cppe::presets::PolicyPreset;
 use gpu::{simulate, GpuConfig, Outcome, RunResult};
@@ -81,10 +81,26 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
     let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
     let mut table = Table::new(&col_refs);
 
+    // Driver resilience counters from the most hostile scenario
+    // ("combined" runs last), per app × policy.
+    let mut drv = Table::new(&[
+        "app",
+        "policy",
+        "retries",
+        "backoff cyc",
+        "aborts",
+        "splits",
+        "deferred",
+        "sheds",
+        "fallbacks",
+        "recoveries",
+    ]);
+
     for abbr in APPS {
         for preset in PRESETS {
             let mut row = vec![abbr.to_string(), preset.label()];
             let mut clean_cycles = None;
+            let mut combined = None;
             for (_, injection) in scenarios(cfg.seed) {
                 let r = run_injected(abbr, preset, cfg, injection, ResilienceConfig::default());
                 let cell = if !r.survived() || r.cycles == 0 {
@@ -100,8 +116,24 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
                     format!("{}", r.cycles)
                 };
                 row.push(cell);
+                combined = Some(r);
             }
             table.row(row);
+            if let Some(r) = combined {
+                let d = &r.driver;
+                drv.row(vec![
+                    abbr.to_string(),
+                    preset.label(),
+                    d.retries.to_string(),
+                    d.retry_backoff_cycles.to_string(),
+                    d.migrations_aborted.to_string(),
+                    d.batch_splits.to_string(),
+                    d.deferred_faults.to_string(),
+                    d.throttle_sheds.to_string(),
+                    d.policy_fallbacks.to_string(),
+                    d.rung_recoveries.to_string(),
+                ]);
+            }
         }
     }
 
@@ -122,15 +154,58 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
         InjectionConfig::disabled(),
         ResilienceConfig::degraded(),
     );
+    // Recovery rung: same ladder, but after a quiet period with no
+    // thrash-detector trips the driver re-arms the shed aggressiveness
+    // one rung at a time.
+    let recovered = run_injected(
+        "MVT",
+        PolicyPreset::Baseline,
+        cfg,
+        InjectionConfig::disabled(),
+        ResilienceConfig::degraded_with_recovery(64),
+    );
     let ladder = format!(
         "MVT @ 50% (baseline policy): plain driver → {:?}; degraded mode →\n\
-         {:?} in {} cycles (throttle sheds: {}, policy fallbacks: {})",
+         {:?} in {} cycles (throttle sheds: {}, policy fallbacks: {});\n\
+         with recovery (64 quiet batches) → {:?} in {} cycles\n\
+         (sheds: {}, fallbacks: {}, rung recoveries: {})",
         plain.outcome,
         laddered.outcome,
         laddered.cycles,
         laddered.driver.throttle_sheds,
         laddered.driver.policy_fallbacks,
+        recovered.outcome,
+        recovered.cycles,
+        recovered.driver.throttle_sheds,
+        recovered.driver.policy_fallbacks,
+        recovered.driver.rung_recoveries,
     );
+
+    // When traced, the ladder demo is the interesting run to look at in
+    // Perfetto: rung transitions sit on the "ladder" track.
+    if cfg.gpu.trace.enabled {
+        if let Some(t) = &recovered.telemetry {
+            if cfg.trace_format.wants_chrome() {
+                let _ = save(
+                    "chaos_mvt_ladder_trace.json",
+                    &telemetry::export::chrome_trace_json(t),
+                );
+            }
+            if cfg.trace_format.wants_json() {
+                let outcome = format!("{:?}", recovered.outcome).to_lowercase();
+                let _ = save(
+                    "chaos_mvt_ladder_summary.json",
+                    &telemetry::export::run_summary_json(&outcome, recovered.cycles, t),
+                );
+            }
+            if cfg.trace_format.wants_csv() {
+                let _ = save(
+                    "chaos_mvt_ladder_timeline.csv",
+                    &telemetry::export::timeline_csv(&t.series),
+                );
+            }
+        }
+    }
 
     format!(
         "Chaos (extension) — run time under deterministic fault injection,\n\
@@ -138,10 +213,12 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
          scale={}, injection seed={:#x}\n\n{}\n\
          Cells: clean column is absolute cycles; others are slowdown\n\
          factors. * = completed degraded, † = crashed, ‡ = timeout.\n\n\
+         Driver resilience counters under the combined scenario:\n\n{}\n\
          Degradation ladder:\n{}\n",
         cfg.scale,
         cfg.seed,
         table.render(),
+        drv.render(),
         ladder
     )
 }

@@ -45,8 +45,10 @@ pub mod timeline;
 
 use crate::runner::ExpConfig;
 
-/// Parse the common binary CLI: `[--quick] [--scale X] [--threads N]`.
-/// Returns the config and thread count.
+/// Parse the common binary CLI:
+/// `[--quick] [--scale X] [--threads N] [--trace] [--trace-format F]`.
+/// Returns the config and thread count. `--trace-format` implies
+/// `--trace`; `F` is one of `csv`, `json`, `chrome`, `all`.
 ///
 /// # Panics
 /// Panics on unknown or malformed arguments.
@@ -71,6 +73,15 @@ pub fn cli_config(args: &[String]) -> (ExpConfig, usize) {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .expect("--threads needs a number");
+            }
+            "--trace" => cfg.gpu.trace.enabled = true,
+            "--trace-format" => {
+                i += 1;
+                cfg.trace_format = args
+                    .get(i)
+                    .and_then(|s| telemetry::TraceFormat::parse(s).ok())
+                    .expect("--trace-format needs csv|json|chrome|all");
+                cfg.gpu.trace.enabled = true;
             }
             other => panic!("unknown argument: {other}"),
         }
@@ -119,5 +130,33 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn cli_rejects_unknown() {
         let _ = cli_config(&["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn cli_trace_flags() {
+        let (cfg, _) = cli_config(&[]);
+        assert!(!cfg.gpu.trace.enabled);
+
+        let (cfg, _) = cli_config(&["--trace".to_string()]);
+        assert!(cfg.gpu.trace.enabled);
+        assert_eq!(cfg.trace_format, telemetry::TraceFormat::Csv);
+
+        let args: Vec<String> = ["--trace-format", "all"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let (cfg, _) = cli_config(&args);
+        assert!(cfg.gpu.trace.enabled, "--trace-format implies --trace");
+        assert_eq!(cfg.trace_format, telemetry::TraceFormat::All);
+    }
+
+    #[test]
+    #[should_panic(expected = "--trace-format needs")]
+    fn cli_rejects_bad_trace_format() {
+        let args: Vec<String> = ["--trace-format", "yaml"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let _ = cli_config(&args);
     }
 }

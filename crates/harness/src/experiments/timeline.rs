@@ -1,26 +1,28 @@
 //! Extension: thrash dynamics over time.
 //!
-//! Samples the simulator at every fault-batch dispatch and emits the
-//! cumulative fault/eviction/residency series for one workload under
-//! the baseline and under CPPE — the time-resolved view of what Fig. 8
-//! summarizes in one number. The report shows a decile summary; the
-//! full series is saved as CSV under `results/`.
+//! Runs one workload under the baseline and under CPPE with the
+//! telemetry tracer on, then exports the per-epoch metric series — the
+//! time-resolved view of what Fig. 8 summarizes in one number. The
+//! report shows a decile summary plus the driver resilience counters;
+//! the full wide per-batch series is saved as CSV under `results/`
+//! (plus JSON summary / Chrome trace when `--trace-format` asks).
 
 use crate::report::{save, Table};
 use crate::runner::{capacity_pages, ExpConfig};
 use cppe::presets::PolicyPreset;
 use gpu::{simulate, RunResult};
+use telemetry::export;
 use workloads::registry;
 
 /// Default workload for the timeline (a Type IV thrasher).
 pub const DEFAULT_APP: &str = "HSD";
 
-/// Run one timeline-instrumented cell.
+/// Run one telemetry-instrumented cell (tracer forced on).
 #[must_use]
 pub fn run_instrumented(cfg: &ExpConfig, abbr: &str, preset: PolicyPreset) -> RunResult {
     let spec = registry::by_abbr(abbr).expect("known app");
     let gpu = gpu::GpuConfig {
-        record_timeline: true,
+        trace: telemetry::TraceConfig::on(),
         ..cfg.gpu
     };
     let lanes = gpu.lanes();
@@ -37,17 +39,20 @@ pub fn run_instrumented(cfg: &ExpConfig, abbr: &str, preset: PolicyPreset) -> Ru
     )
 }
 
-/// CSV of a run's timeline.
+/// Wide per-epoch CSV of a traced run (every registered metric: the
+/// CPPE engine, driver resilience, injection and PCIe counters as
+/// per-batch deltas, plus residency/throttle/rung gauges).
+///
+/// # Panics
+/// Panics when the run was not traced.
 #[must_use]
 pub fn to_csv(r: &RunResult) -> String {
-    let mut out = String::from("cycle,faults,pages_migrated,pages_evicted,resident_pages\n");
-    for p in &r.timeline {
-        out.push_str(&format!(
-            "{},{},{},{},{}\n",
-            p.cycle, p.faults, p.pages_migrated, p.pages_evicted, p.resident_pages
-        ));
-    }
-    out
+    let t = r.telemetry.as_ref().expect("timeline runs are traced");
+    export::timeline_csv(&t.series)
+}
+
+fn outcome_str(r: &RunResult) -> String {
+    format!("{:?}", r.outcome).to_lowercase()
 }
 
 /// Run and render.
@@ -58,29 +63,45 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
     let cppe = run_instrumented(cfg, app, PolicyPreset::Cppe);
 
     for (label, r) in [("baseline", &base), ("cppe", &cppe)] {
-        let _ = save(&format!("timeline_{app}_{label}.csv"), &to_csv(r));
+        if cfg.trace_format.wants_csv() {
+            let _ = save(&format!("timeline_{app}_{label}.csv"), &to_csv(r));
+        }
+        let t = r.telemetry.as_ref().expect("timeline runs are traced");
+        if cfg.trace_format.wants_json() {
+            let j = export::run_summary_json(&outcome_str(r), r.cycles, t);
+            let _ = save(&format!("timeline_{app}_{label}_summary.json"), &j);
+        }
+        if cfg.trace_format.wants_chrome() {
+            let _ = save(
+                &format!("timeline_{app}_{label}_trace.json"),
+                &export::chrome_trace_json(t),
+            );
+        }
     }
 
-    // Decile summary: cumulative evictions at each tenth of the run.
+    // Decile summary: cumulative evictions at each tenth of the run,
+    // read back from the sampled epoch series.
     let mut table = Table::new(&["% of run", "baseline evictions", "cppe evictions"]);
     let at = |r: &RunResult, frac: f64| -> u64 {
-        if r.timeline.is_empty() {
-            return 0;
-        }
+        let t = r.telemetry.as_ref().expect("timeline runs are traced");
         let target = (r.cycles as f64 * frac) as u64;
-        r.timeline
-            .iter()
-            .take_while(|p| p.cycle <= target)
-            .last()
-            .map_or(0, |p| p.pages_evicted)
+        t.series.total_at("cppe.pages_evicted", target)
     };
     for decile in 1..=10 {
-        let frac = decile as f64 / 10.0;
+        let frac = f64::from(decile) / 10.0;
         table.row(vec![
             format!("{}0%", decile),
             at(&base, frac).to_string(),
             at(&cppe, frac).to_string(),
         ]);
+    }
+
+    // Driver resilience counters (retry/backoff/degradation ladder) —
+    // zero in a clean run, but surfaced here so chaos-flavoured configs
+    // show up side by side with the eviction dynamics.
+    let mut drv = Table::new(&["driver counter", "baseline", "cppe"]);
+    for ((name, b), (_, c)) in base.driver.metrics().iter().zip(cppe.driver.metrics()) {
+        drv.row(vec![(*name).to_string(), b.to_string(), c.to_string()]);
     }
 
     format!(
@@ -89,9 +110,11 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
          results/timeline_{app}_*.csv)\n\n{}\n\
          Expected: the baseline accumulates eviction traffic at a steady\n\
          thrash rate; CPPE's curve flattens once the chain classification\n\
-         settles (MRU retention) and the pattern buffer warms up.\n",
+         settles (MRU retention) and the pattern buffer warms up.\n\n\
+         Driver resilience totals (end of run):\n\n{}",
         cfg.scale,
-        table.render()
+        table.render(),
+        drv.render()
     )
 }
 
@@ -105,14 +128,17 @@ mod tests {
         let r = run_instrumented(&cfg, "STN", PolicyPreset::Baseline);
         let csv = to_csv(&r);
         assert_eq!(csv.lines().count() as u64, 1 + r.driver.batches);
-        assert!(csv.starts_with("cycle,faults"));
+        assert!(csv.starts_with("epoch,cycle,cppe.faults"));
+        telemetry::csv::validate(&csv).expect("well-formed CSV");
     }
 
     #[test]
-    fn report_contains_decile_rows() {
+    fn report_contains_decile_and_driver_rows() {
         let cfg = ExpConfig::quick();
         let report = run(&cfg, 0);
         assert!(report.contains("100%"));
         assert!(report.contains("baseline evictions"));
+        assert!(report.contains("driver.retries"));
+        assert!(report.contains("driver.rung_recoveries"));
     }
 }

@@ -1,6 +1,8 @@
 //! Plain-text table / CSV emitters for the experiment binaries.
-
-use std::fmt::Write as _;
+//!
+//! CSV rendering delegates to `telemetry`'s schema-checked
+//! [`CsvWriter`], so every CSV the workspace emits shares one escaping
+//! implementation.
 
 /// A simple aligned text table.
 #[derive(Debug, Default)]
@@ -78,34 +80,15 @@ impl Table {
         out
     }
 
-    /// Render as CSV.
+    /// Render as CSV (escaped and schema-checked by the shared
+    /// `telemetry` writer).
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        let esc = |s: &str| {
-            if s.contains(',') || s.contains('"') {
-                format!("\"{}\"", s.replace('"', "\"\""))
-            } else {
-                s.to_string()
-            }
-        };
-        let _ = writeln!(
-            out,
-            "{}",
-            self.header
-                .iter()
-                .map(|s| esc(s))
-                .collect::<Vec<_>>()
-                .join(",")
-        );
+        let mut w = telemetry::CsvWriter::new(&self.header);
         for row in &self.rows {
-            let _ = writeln!(
-                out,
-                "{}",
-                row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
-            );
+            w.row(row);
         }
-        out
+        w.finish()
     }
 }
 
@@ -158,6 +141,7 @@ mod tests {
         t.row(vec!["x,y".into(), "plain".into()]);
         let csv = t.to_csv();
         assert!(csv.contains("\"x,y\",plain"));
+        telemetry::csv::validate(&csv).expect("round-trips through the shared parser");
     }
 
     #[test]

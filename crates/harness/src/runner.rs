@@ -10,6 +10,7 @@
 use cppe::presets::PolicyPreset;
 use gmmu::types::PAGES_PER_CHUNK;
 use gpu::{simulate, GpuConfig, RunResult};
+use telemetry::TraceFormat;
 use workloads::WorkloadSpec;
 
 /// The two oversubscription rates of the evaluation.
@@ -26,6 +27,9 @@ pub struct ExpConfig {
     pub gpu: GpuConfig,
     /// Seed for stochastic policies (Random eviction).
     pub seed: u64,
+    /// Which trace artifacts to export when `gpu.trace` is enabled
+    /// (`--trace-format`; ignored with tracing off).
+    pub trace_format: TraceFormat,
 }
 
 impl Default for ExpConfig {
@@ -43,6 +47,7 @@ impl Default for ExpConfig {
                 ..GpuConfig::default()
             },
             seed: 0xC0FFEE,
+            trace_format: TraceFormat::Csv,
         }
     }
 }

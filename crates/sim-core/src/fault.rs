@@ -185,6 +185,18 @@ pub struct InjectionStats {
     pub degraded_queries: u64,
 }
 
+impl InjectionStats {
+    /// Counters under their stable telemetry names, in schema order.
+    #[must_use]
+    pub fn metrics(&self) -> [(&'static str, u64); 3] {
+        [
+            ("inject.transfer_failures", self.transfer_failures),
+            ("inject.latency_spikes", self.latency_spikes),
+            ("inject.degraded_queries", self.degraded_queries),
+        ]
+    }
+}
+
 /// The deterministic perturbation source.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {

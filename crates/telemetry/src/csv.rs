@@ -1,0 +1,182 @@
+//! The one CSV writer.
+//!
+//! Every CSV the workspace emits (harness tables, the per-epoch
+//! timeline) routes through [`CsvWriter`], so escaping and schema
+//! discipline live in exactly one place: fields containing commas,
+//! quotes or newlines are quoted with doubled quotes (RFC 4180), and
+//! every row is checked against the header width.
+
+use std::fmt::Write as _;
+
+/// Escape one CSV field if it needs quoting.
+#[must_use]
+pub fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Schema-checked CSV emitter.
+#[derive(Debug, Clone)]
+pub struct CsvWriter {
+    width: usize,
+    out: String,
+}
+
+impl CsvWriter {
+    /// Start a CSV with the given header.
+    ///
+    /// # Panics
+    /// Panics on an empty header.
+    #[must_use]
+    pub fn new<S: AsRef<str>>(header: &[S]) -> Self {
+        assert!(!header.is_empty(), "CSV needs at least one column");
+        let mut w = CsvWriter {
+            width: header.len(),
+            out: String::new(),
+        };
+        w.write_row(header);
+        w
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics when the row width does not match the header.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(
+            cells.len(),
+            self.width,
+            "CSV row width {} != header width {}",
+            cells.len(),
+            self.width
+        );
+        self.write_row(cells);
+    }
+
+    fn write_row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{}", escape(c.as_ref()));
+        }
+        self.out.push('\n');
+    }
+
+    /// The finished CSV text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Validate that `csv` parses with a consistent column count and return
+/// its header fields. Quoted fields (RFC 4180, doubled quotes) are
+/// handled; a quote opened and never closed is an error.
+///
+/// # Errors
+/// Returns a description of the first malformed line.
+pub fn validate(csv: &str) -> Result<Vec<String>, String> {
+    let mut header: Option<Vec<String>> = None;
+    let mut line_no = 0usize;
+    let mut rest = csv;
+    while !rest.is_empty() {
+        line_no += 1;
+        let (fields, consumed) = parse_record(rest, line_no)?;
+        rest = &rest[consumed..];
+        match &header {
+            None => header = Some(fields),
+            Some(h) => {
+                if fields.len() != h.len() {
+                    return Err(format!(
+                        "line {line_no}: {} fields, header has {}",
+                        fields.len(),
+                        h.len()
+                    ));
+                }
+            }
+        }
+    }
+    header.ok_or_else(|| "empty CSV".to_string())
+}
+
+/// Parse one CSV record starting at the head of `s`; returns the fields
+/// and the bytes consumed (including the record terminator).
+fn parse_record(s: &str, line_no: usize) -> Result<(Vec<String>, usize), String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = s.char_indices().peekable();
+    let mut in_quotes = false;
+    while let Some((i, c)) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek().is_some_and(|&(_, n)| n == '"') {
+                        field.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                '\n' => {
+                    fields.push(field);
+                    return Ok((fields, i + 1));
+                }
+                '\r' => {}
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(format!("line {line_no}: unterminated quoted field"));
+    }
+    fields.push(field);
+    Ok((fields, s.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_rows_roundtrip() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.row(&["1", "2"]);
+        let csv = w.finish();
+        assert_eq!(csv, "a,b\n1,2\n");
+        assert_eq!(validate(&csv).unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn escaping_commas_quotes_newlines() {
+        let mut w = CsvWriter::new(&["x", "y"]);
+        w.row(&["a,b", "say \"hi\"\nthere"]);
+        let csv = w.finish();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\nthere\""));
+        assert_eq!(validate(&csv).unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.row(&["only-one"]);
+    }
+
+    #[test]
+    fn validate_rejects_ragged_and_unterminated() {
+        assert!(validate("a,b\n1,2,3\n").is_err());
+        assert!(validate("a,b\n\"unterminated,2\n").is_err());
+        assert!(validate("").is_err());
+    }
+}

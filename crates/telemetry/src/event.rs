@@ -1,0 +1,272 @@
+//! The typed event taxonomy.
+//!
+//! Events are small `Copy` payloads stamped with the simulated cycle at
+//! which they were recorded. Pages and chunks travel as raw `u64`
+//! indices so this crate stays below `gmmu` in the dependency order;
+//! emitters pass `VirtPage::0` / `ChunkId::0`.
+
+use std::fmt::Write as _;
+
+/// Which injected perturbation fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFaultKind {
+    /// A migration DMA was failed transiently.
+    TransferFailure,
+    /// A fault batch's base service latency was inflated.
+    LatencySpike,
+    /// The fault queue overflowed; `deferred` faults were pushed to the
+    /// next batch.
+    QueueOverflow {
+        /// Faults cut off the batch tail.
+        deferred: u32,
+    },
+}
+
+/// One traced occurrence inside the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A distinct far fault entered host-side service.
+    FarFault {
+        /// Faulted virtual page.
+        page: u64,
+    },
+    /// The prefetcher planned a migration for a fault.
+    PrefetchDecision {
+        /// Faulted virtual page the plan is anchored on.
+        page: u64,
+        /// Pages in the plan (faulted page included).
+        planned: u32,
+    },
+    /// A migration DMA was charged to the link.
+    MigrationDma {
+        /// Faulted virtual page the transfer serves.
+        page: u64,
+        /// Pages transferred.
+        pages: u32,
+        /// Absolute cycle the transfer completes.
+        done_cycle: u64,
+    },
+    /// A failed migration DMA is being retried after backoff.
+    DmaRetry {
+        /// Faulted virtual page.
+        page: u64,
+        /// 1-based retry attempt.
+        attempt: u32,
+        /// Backoff charged before this attempt.
+        backoff_cycles: u64,
+    },
+    /// A migration was abandoned after the retry budget was spent.
+    DmaAbort {
+        /// Faulted virtual page.
+        page: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A victim chunk was evicted.
+    Eviction {
+        /// Evicted chunk id.
+        chunk: u64,
+        /// Pages that were resident (= transferred back).
+        resident: u32,
+        /// Resident pages never touched.
+        untouch: u32,
+    },
+    /// The fault injector perturbed the run.
+    InjectedFault {
+        /// Which axis fired.
+        kind: InjectedFaultKind,
+    },
+    /// The thrash degradation ladder moved — down (shedding) or up
+    /// (recovery re-arming the original policy engine).
+    RungTransition {
+        /// Rung before the transition.
+        from: u32,
+        /// Rung after the transition.
+        to: u32,
+    },
+    /// One fault batch finished host-side service (span event: the
+    /// record's cycle is the batch arrival).
+    BatchServiced {
+        /// Batch sequence number.
+        batch: u64,
+        /// Faults handed over by the GPU (duplicates included).
+        arrived: u32,
+        /// Distinct faults serviced.
+        distinct: u32,
+        /// Faults already resident on arrival.
+        coalesced: u32,
+        /// Cycle the host frees up for the next batch.
+        host_done_cycle: u64,
+        /// Cycle the last transfer of the batch lands.
+        done_cycle: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event name (Chrome-trace `name` field).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::FarFault { .. } => "far_fault",
+            TraceEvent::PrefetchDecision { .. } => "prefetch_decision",
+            TraceEvent::MigrationDma { .. } => "migration_dma",
+            TraceEvent::DmaRetry { .. } => "dma_retry",
+            TraceEvent::DmaAbort { .. } => "dma_abort",
+            TraceEvent::Eviction { .. } => "eviction",
+            TraceEvent::InjectedFault { .. } => "injected_fault",
+            TraceEvent::RungTransition { .. } => "rung_transition",
+            TraceEvent::BatchServiced { .. } => "batch",
+        }
+    }
+
+    /// Track the event renders on in the Chrome trace (also its
+    /// category). Tracks group related lifecycle stages so the
+    /// fault/migration/eviction overlap is visible at a glance.
+    #[must_use]
+    pub fn track(&self) -> &'static str {
+        match self {
+            TraceEvent::FarFault { .. } | TraceEvent::PrefetchDecision { .. } => "fault",
+            TraceEvent::MigrationDma { .. }
+            | TraceEvent::DmaRetry { .. }
+            | TraceEvent::DmaAbort { .. } => "dma",
+            TraceEvent::Eviction { .. } => "evict",
+            TraceEvent::InjectedFault { .. } => "inject",
+            TraceEvent::RungTransition { .. } => "ladder",
+            TraceEvent::BatchServiced { .. } => "driver",
+        }
+    }
+
+    /// Event arguments as a JSON object body (Chrome-trace `args`).
+    #[must_use]
+    pub fn args_json(&self) -> String {
+        let mut s = String::from("{");
+        let field = |s: &mut String, k: &str, v: u64| {
+            if s.len() > 1 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{k}\":{v}");
+        };
+        match *self {
+            TraceEvent::FarFault { page } => field(&mut s, "page", page),
+            TraceEvent::PrefetchDecision { page, planned } => {
+                field(&mut s, "page", page);
+                field(&mut s, "planned", u64::from(planned));
+            }
+            TraceEvent::MigrationDma {
+                page,
+                pages,
+                done_cycle,
+            } => {
+                field(&mut s, "page", page);
+                field(&mut s, "pages", u64::from(pages));
+                field(&mut s, "done_cycle", done_cycle);
+            }
+            TraceEvent::DmaRetry {
+                page,
+                attempt,
+                backoff_cycles,
+            } => {
+                field(&mut s, "page", page);
+                field(&mut s, "attempt", u64::from(attempt));
+                field(&mut s, "backoff_cycles", backoff_cycles);
+            }
+            TraceEvent::DmaAbort { page, attempts } => {
+                field(&mut s, "page", page);
+                field(&mut s, "attempts", u64::from(attempts));
+            }
+            TraceEvent::Eviction {
+                chunk,
+                resident,
+                untouch,
+            } => {
+                field(&mut s, "chunk", chunk);
+                field(&mut s, "resident", u64::from(resident));
+                field(&mut s, "untouch", u64::from(untouch));
+            }
+            TraceEvent::InjectedFault { kind } => {
+                let (name, deferred) = match kind {
+                    InjectedFaultKind::TransferFailure => ("transfer_failure", None),
+                    InjectedFaultKind::LatencySpike => ("latency_spike", None),
+                    InjectedFaultKind::QueueOverflow { deferred } => {
+                        ("queue_overflow", Some(deferred))
+                    }
+                };
+                let _ = write!(s, "\"kind\":\"{name}\"");
+                if let Some(d) = deferred {
+                    field(&mut s, "deferred", u64::from(d));
+                }
+            }
+            TraceEvent::RungTransition { from, to } => {
+                field(&mut s, "from", u64::from(from));
+                field(&mut s, "to", u64::from(to));
+            }
+            TraceEvent::BatchServiced {
+                batch,
+                arrived,
+                distinct,
+                coalesced,
+                host_done_cycle,
+                done_cycle,
+            } => {
+                field(&mut s, "batch", batch);
+                field(&mut s, "arrived", u64::from(arrived));
+                field(&mut s, "distinct", u64::from(distinct));
+                field(&mut s, "coalesced", u64::from(coalesced));
+                field(&mut s, "host_done_cycle", host_done_cycle);
+                field(&mut s, "done_cycle", done_cycle);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// An event stamped with the simulated cycle it was recorded at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Simulated-cycle timestamp.
+    pub cycle: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_tracks_are_stable() {
+        let e = TraceEvent::Eviction {
+            chunk: 3,
+            resident: 16,
+            untouch: 15,
+        };
+        assert_eq!(e.name(), "eviction");
+        assert_eq!(e.track(), "evict");
+        assert_eq!(
+            TraceEvent::RungTransition { from: 1, to: 0 }.track(),
+            "ladder"
+        );
+    }
+
+    #[test]
+    fn args_render_as_json_objects() {
+        let e = TraceEvent::DmaRetry {
+            page: 7,
+            attempt: 2,
+            backoff_cycles: 4000,
+        };
+        assert_eq!(
+            e.args_json(),
+            "{\"page\":7,\"attempt\":2,\"backoff_cycles\":4000}"
+        );
+        let q = TraceEvent::InjectedFault {
+            kind: InjectedFaultKind::QueueOverflow { deferred: 3 },
+        };
+        assert_eq!(
+            q.args_json(),
+            "{\"kind\":\"queue_overflow\",\"deferred\":3}"
+        );
+        crate::json::validate(&q.args_json()).expect("valid JSON");
+    }
+}

@@ -1,0 +1,286 @@
+//! Exporters: timeline CSV, JSON run summary, Chrome trace-event JSON.
+//!
+//! Three views of one run's telemetry:
+//!
+//! * [`timeline_csv`] — one wide row per epoch (fault batch) with every
+//!   registered metric: counters as per-epoch deltas, gauges as levels.
+//! * [`run_summary_json`] — end-of-run totals as one JSON document.
+//! * [`chrome_trace_json`] — the event ring in Chrome trace-event
+//!   format; load it at `ui.perfetto.dev` or `chrome://tracing` to see
+//!   fault batches, DMA spans, evictions and ladder transitions on a
+//!   shared timeline.
+
+use crate::csv::CsvWriter;
+use crate::event::TraceEvent;
+use crate::json;
+use crate::metrics::{EpochSeries, MetricKind};
+use crate::tracer::RunTelemetry;
+use sim_core::time::GPU_CLOCK_GHZ;
+use std::fmt::Write as _;
+
+/// Which exports a harness run should write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// Per-epoch timeline CSV (the default for `--trace`).
+    #[default]
+    Csv,
+    /// JSON run summary.
+    Json,
+    /// Chrome trace-event JSON.
+    Chrome,
+    /// All of the above.
+    All,
+}
+
+impl TraceFormat {
+    /// Parse a `--trace-format` argument.
+    ///
+    /// # Errors
+    /// Returns the unrecognised value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "csv" => Ok(TraceFormat::Csv),
+            "json" => Ok(TraceFormat::Json),
+            "chrome" => Ok(TraceFormat::Chrome),
+            "all" => Ok(TraceFormat::All),
+            other => Err(format!(
+                "unknown trace format {other:?} (expected csv|json|chrome|all)"
+            )),
+        }
+    }
+
+    /// Should the timeline CSV be written?
+    #[must_use]
+    pub fn wants_csv(self) -> bool {
+        matches!(self, TraceFormat::Csv | TraceFormat::All)
+    }
+
+    /// Should the JSON summary be written?
+    #[must_use]
+    pub fn wants_json(self) -> bool {
+        matches!(self, TraceFormat::Json | TraceFormat::All)
+    }
+
+    /// Should the Chrome trace be written?
+    #[must_use]
+    pub fn wants_chrome(self) -> bool {
+        matches!(self, TraceFormat::Chrome | TraceFormat::All)
+    }
+}
+
+/// Render the epoch series as a wide CSV: `epoch,cycle` then every
+/// registered metric in schema order (counters as per-epoch deltas,
+/// gauges as sampled levels).
+#[must_use]
+pub fn timeline_csv(series: &EpochSeries) -> String {
+    let mut header = vec!["epoch".to_string(), "cycle".to_string()];
+    header.extend(series.schema.iter().map(|(n, _)| n.clone()));
+    let mut w = CsvWriter::new(&header);
+    for (i, row) in series.rows.iter().enumerate() {
+        let mut cells = vec![row.epoch.to_string(), row.cycle.to_string()];
+        cells.extend(series.epoch_values(i).iter().map(u64::to_string));
+        w.row(&cells);
+    }
+    w.finish()
+}
+
+/// Render an end-of-run summary as one JSON document: outcome, total
+/// cycles, event accounting and the final total of every metric.
+#[must_use]
+pub fn run_summary_json(outcome: &str, cycles: u64, telemetry: &RunTelemetry) -> String {
+    let mut s = String::from("{");
+    let _ = write!(
+        s,
+        "\"outcome\":{},\"cycles\":{cycles},\"epochs\":{},",
+        json::string(outcome),
+        telemetry.series.rows.len()
+    );
+    let _ = write!(
+        s,
+        "\"events\":{{\"recorded\":{},\"dropped\":{}}},",
+        telemetry.events.len(),
+        telemetry.dropped_events
+    );
+    s.push_str("\"metrics\":{");
+    for (i, (name, kind)) in telemetry.series.schema.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let value = telemetry.series.final_total(name);
+        let kind = match kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        let _ = write!(
+            s,
+            "{}:{{\"kind\":\"{kind}\",\"value\":{value}}}",
+            json::string(name)
+        );
+    }
+    s.push_str("}}");
+    s
+}
+
+/// Cycle timestamp in Chrome-trace microseconds (the GPU clock defines
+/// the conversion).
+fn ts_us(cycle: u64) -> String {
+    // Keep nanosecond precision: 1 cycle @ 1.4 GHz is ~0.714 ns.
+    #[allow(clippy::cast_precision_loss)]
+    let us = cycle as f64 / (GPU_CLOCK_GHZ * 1000.0);
+    format!("{us:.3}")
+}
+
+/// Render the event ring as Chrome trace-event JSON (the
+/// `{"traceEvents":[...]}` wrapper format Perfetto loads directly).
+///
+/// Batch service and migration DMAs become duration (`ph:"X"`) spans on
+/// their tracks; everything else becomes thread-scoped instants
+/// (`ph:"i"`).
+#[must_use]
+pub fn chrome_trace_json(telemetry: &RunTelemetry) -> String {
+    // Stable tid per track, in lifecycle order.
+    const TRACKS: [&str; 6] = ["driver", "fault", "dma", "evict", "ladder", "inject"];
+    let tid = |track: &str| TRACKS.iter().position(|t| *t == track).unwrap_or(0);
+
+    let mut s = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: &mut String, item: &str| {
+        if !std::mem::take(&mut first) {
+            s.push(',');
+        }
+        s.push_str(item);
+    };
+
+    for (i, track) in TRACKS.iter().enumerate() {
+        push(
+            &mut s,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{i},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                json::string(track)
+            ),
+        );
+    }
+
+    for rec in &telemetry.events {
+        let e = &rec.event;
+        let dur_cycles = match *e {
+            TraceEvent::BatchServiced {
+                host_done_cycle, ..
+            } => Some(host_done_cycle.saturating_sub(rec.cycle)),
+            TraceEvent::MigrationDma { done_cycle, .. } => {
+                Some(done_cycle.saturating_sub(rec.cycle))
+            }
+            _ => None,
+        };
+        let common = format!(
+            "\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{}",
+            e.name(),
+            e.track(),
+            tid(e.track()),
+            ts_us(rec.cycle),
+            e.args_json()
+        );
+        let item = match dur_cycles {
+            Some(d) => format!("{{\"ph\":\"X\",{common},\"dur\":{}}}", ts_us(d)),
+            None => format!("{{\"ph\":\"i\",\"s\":\"t\",{common}}}"),
+        };
+        push(&mut s, &item);
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventRecord;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_telemetry() -> RunTelemetry {
+        let mut r = MetricsRegistry::new();
+        r.set("driver.batches", MetricKind::Counter, 1);
+        r.set("mem.resident_pages", MetricKind::Gauge, 16);
+        r.snapshot_epoch(28_000);
+        r.set("driver.batches", MetricKind::Counter, 2);
+        r.set("mem.resident_pages", MetricKind::Gauge, 32);
+        r.snapshot_epoch(70_000);
+        RunTelemetry {
+            events: vec![
+                EventRecord {
+                    cycle: 0,
+                    event: TraceEvent::BatchServiced {
+                        batch: 0,
+                        arrived: 4,
+                        distinct: 4,
+                        coalesced: 0,
+                        host_done_cycle: 28_000,
+                        done_cycle: 30_000,
+                    },
+                },
+                EventRecord {
+                    cycle: 100,
+                    event: TraceEvent::FarFault { page: 9 },
+                },
+                EventRecord {
+                    cycle: 200,
+                    event: TraceEvent::MigrationDma {
+                        page: 9,
+                        pages: 16,
+                        done_cycle: 5_000,
+                    },
+                },
+            ],
+            dropped_events: 0,
+            series: r.into_series(),
+        }
+    }
+
+    #[test]
+    fn timeline_csv_is_wide_and_delta_based() {
+        let t = sample_telemetry();
+        let csv = timeline_csv(&t.series);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "epoch,cycle,driver.batches,mem.resident_pages"
+        );
+        assert_eq!(lines.next().unwrap(), "0,28000,1,16");
+        assert_eq!(lines.next().unwrap(), "1,70000,1,32", "counter is a delta");
+        crate::csv::validate(&csv).unwrap();
+    }
+
+    #[test]
+    fn run_summary_is_valid_json_with_totals() {
+        let t = sample_telemetry();
+        let j = run_summary_json("completed", 70_000, &t);
+        json::validate(&j).unwrap();
+        assert!(j.contains("\"outcome\":\"completed\""));
+        assert!(j.contains("\"driver.batches\":{\"kind\":\"counter\",\"value\":2}"));
+        assert!(j.contains("\"mem.resident_pages\":{\"kind\":\"gauge\",\"value\":32}"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_has_spans() {
+        let t = sample_telemetry();
+        let j = chrome_trace_json(&t);
+        json::validate(&j).unwrap();
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.contains("\"ph\":\"M\""), "thread metadata present");
+        assert!(j.contains("\"ph\":\"X\""), "duration spans present");
+        assert!(j.contains("\"ph\":\"i\""), "instants present");
+        // 28_000 cycles @ 1.4 GHz = 20 µs.
+        assert!(j.contains("\"dur\":20.000"));
+    }
+
+    #[test]
+    fn trace_format_parses_and_selects() {
+        assert_eq!(TraceFormat::parse("csv").unwrap(), TraceFormat::Csv);
+        assert_eq!(TraceFormat::parse("all").unwrap(), TraceFormat::All);
+        assert!(TraceFormat::parse("yaml").is_err());
+        assert!(TraceFormat::All.wants_csv());
+        assert!(TraceFormat::All.wants_chrome());
+        assert!(!TraceFormat::Csv.wants_json());
+        assert!(TraceFormat::Json.wants_json());
+    }
+}

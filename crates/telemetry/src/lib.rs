@@ -1,0 +1,50 @@
+//! # telemetry — unified observability for the simulator stack
+//!
+//! Before this crate, observability was scattered across four
+//! disconnected carriers: `sim_core::stats::StatSet`, the bespoke
+//! per-run timeline in `gpu::sim`, `uvm::DriverStats`, and per-binary
+//! CSV glue in the harness. This crate unifies them:
+//!
+//! * [`event`] — the typed [`TraceEvent`] taxonomy (far-fault
+//!   lifecycle, migration DMA start/retry/abort, evictions, prefetch
+//!   decisions, thrash-ladder rung transitions, injected faults),
+//! * [`ring`] — the bounded [`TraceRing`] event buffer (drop-oldest,
+//!   never panics, counts drops),
+//! * [`metrics`] — [`MetricsRegistry`]: counters/gauges/histograms
+//!   under stable dotted names, absorbing [`sim_core::StatSet`], with
+//!   an epoch sampler that snapshots totals at fault-batch granularity
+//!   ([`EpochSeries`]),
+//! * [`tracer`] — [`Tracer`], the cheap handle the `uvm` driver and
+//!   `gpu` simulator carry; a disabled tracer is a no-op that allocates
+//!   nothing and draws no state, so runs with telemetry off are
+//!   bit-identical to runs that never heard of this crate,
+//! * [`csv`] — the one escaped, schema-checked CSV writer every
+//!   emitter routes through,
+//! * [`json`] — dependency-free JSON emission helpers and a validating
+//!   parser (used by the golden-schema tests and the CI artifact
+//!   check),
+//! * [`export`] — the exporters: wide per-epoch timeline CSV, JSON run
+//!   summary, and Chrome trace-event JSON loadable in Perfetto.
+//!
+//! ## Overhead guarantee
+//!
+//! Every entry point checks [`Tracer::enabled`] first (one branch on a
+//! niche-optimized `Option`); event payloads are built inside closures
+//! that are never invoked when tracing is off. Telemetry observes
+//! simulation state and never mutates it, so enabling it cannot change
+//! a run's timing or results either — only record them.
+
+pub mod csv;
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod tracer;
+
+pub use csv::CsvWriter;
+pub use event::{EventRecord, InjectedFaultKind, TraceEvent};
+pub use export::TraceFormat;
+pub use metrics::{EpochRow, EpochSeries, MetricKind, MetricsRegistry};
+pub use ring::TraceRing;
+pub use tracer::{RunTelemetry, TraceConfig, Tracer};

@@ -1,0 +1,321 @@
+//! Metrics registry and the per-epoch sampler.
+//!
+//! Metric names are dotted paths (`driver.retries`,
+//! `cppe.pages_evicted`, `mem.resident_pages`) registered once and kept
+//! in registration order, so every exporter sees the same stable column
+//! schema. Counters are monotone totals; gauges are point-in-time
+//! levels; histograms wrap [`sim_core::Histogram`] for distribution
+//! summaries. [`MetricsRegistry::absorb_statset`] imports a legacy
+//! [`StatSet`] under a prefix, retiring the old ad-hoc carrier.
+//!
+//! The epoch sampler snapshots every registered value at fault-batch
+//! granularity; [`EpochSeries`] then exposes totals and per-epoch
+//! deltas, with the invariant (checked by [`EpochSeries::parity`]) that
+//! the deltas of every counter sum exactly to its end-of-run total.
+
+use sim_core::stats::{Histogram, StatSet};
+use std::collections::BTreeMap;
+
+/// What kind of quantity a metric is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing total; exporters emit per-epoch
+    /// deltas.
+    Counter,
+    /// Point-in-time level; exporters emit the sampled value.
+    Gauge,
+}
+
+/// One sampled epoch: the totals of every registered metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochRow {
+    /// Epoch index (0-based, one per fault batch).
+    pub epoch: u64,
+    /// Simulated cycle of the sample (the batch dispatch).
+    pub cycle: u64,
+    /// Metric totals, in schema order.
+    pub totals: Vec<u64>,
+}
+
+/// The sampled epoch series: a stable schema plus one row per epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochSeries {
+    /// `(dotted name, kind)` in registration order.
+    pub schema: Vec<(String, MetricKind)>,
+    /// One row per epoch, in time order.
+    pub rows: Vec<EpochRow>,
+}
+
+impl EpochSeries {
+    /// Column index of `name`, if registered.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.schema.iter().position(|(n, _)| n == name)
+    }
+
+    /// Final total of metric `name` (0 when absent or no epochs).
+    #[must_use]
+    pub fn final_total(&self, name: &str) -> u64 {
+        match (self.index_of(name), self.rows.last()) {
+            (Some(i), Some(row)) => row.totals[i],
+            _ => 0,
+        }
+    }
+
+    /// Total of metric `name` at the last epoch sampled at or before
+    /// `cycle` (0 when none).
+    #[must_use]
+    pub fn total_at(&self, name: &str, cycle: u64) -> u64 {
+        let Some(i) = self.index_of(name) else {
+            return 0;
+        };
+        self.rows
+            .iter()
+            .take_while(|r| r.cycle <= cycle)
+            .last()
+            .map_or(0, |r| r.totals[i])
+    }
+
+    /// Per-epoch values for row `i`: counters as deltas against the
+    /// previous epoch, gauges as sampled.
+    #[must_use]
+    pub fn epoch_values(&self, i: usize) -> Vec<u64> {
+        let row = &self.rows[i];
+        self.schema
+            .iter()
+            .enumerate()
+            .map(|(c, &(_, kind))| match kind {
+                MetricKind::Gauge => row.totals[c],
+                MetricKind::Counter => {
+                    let prev = if i == 0 {
+                        0
+                    } else {
+                        self.rows[i - 1].totals[c]
+                    };
+                    row.totals[c].saturating_sub(prev)
+                }
+            })
+            .collect()
+    }
+
+    /// Verify counter parity: for every counter, the sum of per-epoch
+    /// deltas must equal the final total, and totals must be monotone.
+    ///
+    /// # Errors
+    /// Returns the first offending metric name.
+    pub fn parity(&self) -> Result<(), String> {
+        for (c, (name, kind)) in self.schema.iter().enumerate() {
+            if *kind != MetricKind::Counter {
+                continue;
+            }
+            let mut prev = 0u64;
+            let mut delta_sum = 0u64;
+            for row in &self.rows {
+                let v = row.totals[c];
+                if v < prev {
+                    return Err(format!("{name}: non-monotone total {v} after {prev}"));
+                }
+                delta_sum += v - prev;
+                prev = v;
+            }
+            if delta_sum != prev {
+                return Err(format!(
+                    "{name}: delta sum {delta_sum} != final total {prev}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counters, gauges and histograms under stable dotted names.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    schema: Vec<(String, MetricKind)>,
+    index: BTreeMap<String, usize>,
+    values: Vec<u64>,
+    hists: BTreeMap<String, Histogram>,
+    rows: Vec<EpochRow>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name` with `kind` (idempotent; the first registration
+    /// wins the kind and the column position). Returns the column
+    /// index.
+    pub fn register(&mut self, name: &str, kind: MetricKind) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.schema.len();
+        self.schema.push((name.to_string(), kind));
+        self.index.insert(name.to_string(), i);
+        self.values.push(0);
+        i
+    }
+
+    /// Set metric `name` to `value` (registering it as `kind` if new).
+    pub fn set(&mut self, name: &str, kind: MetricKind, value: u64) {
+        let i = self.register(name, kind);
+        self.values[i] = value;
+    }
+
+    /// Add `n` to counter `name` (registering it if new).
+    pub fn add(&mut self, name: &str, n: u64) {
+        let i = self.register(name, MetricKind::Counter);
+        self.values[i] += n;
+    }
+
+    /// Current value of `name` (0 when unregistered).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.index.get(name).map_or(0, |&i| self.values[i])
+    }
+
+    /// Number of registered scalar metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// No metrics registered yet?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.schema.is_empty()
+    }
+
+    /// Import every counter of a legacy [`StatSet`] as
+    /// `<prefix>.<name>`.
+    pub fn absorb_statset(&mut self, prefix: &str, stats: &StatSet) {
+        for (name, value) in stats.iter() {
+            self.set(&format!("{prefix}.{name}"), MetricKind::Counter, value);
+        }
+    }
+
+    /// Record `value` into histogram `name` (created on first use).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Histogram `name`, if any value was observed.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Iterate `(name, kind, value)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, MetricKind, u64)> {
+        self.schema
+            .iter()
+            .zip(&self.values)
+            .map(|(&(ref n, k), &v)| (n.as_str(), k, v))
+    }
+
+    /// Snapshot every registered value as one epoch at `cycle`.
+    pub fn snapshot_epoch(&mut self, cycle: u64) {
+        self.rows.push(EpochRow {
+            epoch: self.rows.len() as u64,
+            cycle,
+            totals: self.values.clone(),
+        });
+    }
+
+    /// Epochs sampled so far.
+    #[must_use]
+    pub fn epochs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Consume the registry into its epoch series.
+    #[must_use]
+    pub fn into_series(self) -> EpochSeries {
+        EpochSeries {
+            schema: self.schema,
+            rows: self.rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_ordered() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.register("a.x", MetricKind::Counter), 0);
+        assert_eq!(r.register("b.y", MetricKind::Gauge), 1);
+        assert_eq!(r.register("a.x", MetricKind::Gauge), 0, "first kind wins");
+        assert_eq!(r.schema[0].1, MetricKind::Counter);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn set_add_get_roundtrip() {
+        let mut r = MetricsRegistry::new();
+        r.set("d.batches", MetricKind::Counter, 3);
+        r.add("d.batches", 2);
+        assert_eq!(r.get("d.batches"), 5);
+        assert_eq!(r.get("missing"), 0);
+    }
+
+    #[test]
+    fn absorbs_statset_under_prefix() {
+        let mut s = StatSet::new();
+        s.add("faults", 7);
+        s.add("evictions", 2);
+        let mut r = MetricsRegistry::new();
+        r.absorb_statset("app", &s);
+        assert_eq!(r.get("app.faults"), 7);
+        assert_eq!(r.get("app.evictions"), 2);
+    }
+
+    #[test]
+    fn histogram_observation() {
+        let mut r = MetricsRegistry::new();
+        r.observe("walk.depth", 2);
+        r.observe("walk.depth", 4);
+        let h = r.histogram("walk.depth").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 4);
+        assert!(r.histogram("none").is_none());
+    }
+
+    #[test]
+    fn epoch_deltas_and_parity() {
+        let mut r = MetricsRegistry::new();
+        r.register("c", MetricKind::Counter);
+        r.register("g", MetricKind::Gauge);
+        r.set("c", MetricKind::Counter, 4);
+        r.set("g", MetricKind::Gauge, 10);
+        r.snapshot_epoch(100);
+        r.set("c", MetricKind::Counter, 9);
+        r.set("g", MetricKind::Gauge, 6);
+        r.snapshot_epoch(250);
+        let s = r.into_series();
+        assert_eq!(s.epoch_values(0), vec![4, 10]);
+        assert_eq!(s.epoch_values(1), vec![5, 6], "counter delta, gauge level");
+        assert_eq!(s.final_total("c"), 9);
+        assert_eq!(s.total_at("c", 100), 4);
+        assert_eq!(s.total_at("c", 99), 0);
+        s.parity().expect("deltas reconcile");
+    }
+
+    #[test]
+    fn parity_catches_non_monotone_counters() {
+        let mut r = MetricsRegistry::new();
+        r.set("c", MetricKind::Counter, 5);
+        r.snapshot_epoch(1);
+        r.set("c", MetricKind::Counter, 3);
+        r.snapshot_epoch(2);
+        assert!(r.into_series().parity().is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Bounded event ring buffer.
+//!
+//! Long runs emit far more events than anyone wants to keep; the ring
+//! keeps the most recent `capacity` and counts what it dropped, so the
+//! exporters can say "…and 1 234 earlier events" instead of the process
+//! eating memory or panicking.
+
+use crate::event::EventRecord;
+use std::collections::VecDeque;
+
+/// Drop-oldest bounded buffer of [`EventRecord`]s.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: VecDeque<EventRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Ring holding at most `capacity` events (capacity 0 keeps nothing
+    /// and counts everything as dropped).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Record an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, rec: EventRecord) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+
+    /// Events currently held, oldest first.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the ring empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events dropped because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate held events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &EventRecord> {
+        self.buf.iter()
+    }
+
+    /// Drain into a `Vec`, oldest first.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<EventRecord> {
+        self.buf.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn rec(cycle: u64) -> EventRecord {
+        EventRecord {
+            cycle,
+            event: TraceEvent::FarFault { page: cycle },
+        }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_without_panicking() {
+        let mut r = TraceRing::new(3);
+        for i in 0..10 {
+            r.push(rec(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 7);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9], "newest survive");
+    }
+
+    #[test]
+    fn zero_capacity_counts_only() {
+        let mut r = TraceRing::new(0);
+        r.push(rec(1));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn into_vec_preserves_order() {
+        let mut r = TraceRing::new(8);
+        for i in 0..4 {
+            r.push(rec(i));
+        }
+        let v = r.into_vec();
+        assert_eq!(v.len(), 4);
+        assert!(v.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+    }
+}

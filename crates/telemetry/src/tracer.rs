@@ -1,0 +1,194 @@
+//! The tracer handle carried through the stack.
+//!
+//! [`Tracer`] is a niche-optimized `Option<Box<_>>`: disabled it is one
+//! machine word, every method is a single branch, and event payloads
+//! are built inside closures that never run. The `uvm` driver owns the
+//! run's tracer; [`Tracer::finish`] turns it into the [`RunTelemetry`]
+//! attached to `gpu::RunResult`.
+
+use crate::event::{EventRecord, TraceEvent};
+use crate::metrics::{EpochSeries, MetricKind, MetricsRegistry};
+use crate::ring::TraceRing;
+
+/// Tracing knobs (part of `gpu::GpuConfig`; `Copy` so configs stay
+/// plain data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch. Off (the default) records nothing, allocates
+    /// nothing and leaves runs bit-identical.
+    pub enabled: bool,
+    /// Event ring capacity (newest events win on overflow).
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            ring_capacity: 65_536,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing on with the default ring capacity.
+    #[must_use]
+    pub fn on() -> Self {
+        TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    ring: TraceRing,
+    registry: MetricsRegistry,
+}
+
+/// The recording handle. Cheap to hold, free when disabled.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    inner: Option<Box<TracerInner>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Build from a config — disabled unless `cfg.enabled`.
+    #[must_use]
+    pub fn new(cfg: TraceConfig) -> Self {
+        if !cfg.enabled {
+            return Tracer::disabled();
+        }
+        Tracer {
+            inner: Some(Box::new(TracerInner {
+                ring: TraceRing::new(cfg.ring_capacity),
+                registry: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    /// Is this tracer recording?
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record an event at `cycle`. The payload closure only runs when
+    /// tracing is on.
+    #[inline]
+    pub fn emit(&mut self, cycle: u64, event: impl FnOnce() -> TraceEvent) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.ring.push(EventRecord {
+                cycle,
+                event: event(),
+            });
+        }
+    }
+
+    /// Sample one epoch: set every `(name, kind, value)` into the
+    /// registry (registering on first sight) and snapshot the totals at
+    /// `cycle`. Emitters must pass a stable set in a stable order.
+    pub fn sample_epoch<'a>(
+        &mut self,
+        cycle: u64,
+        metrics: impl IntoIterator<Item = (&'a str, MetricKind, u64)>,
+    ) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            for (name, kind, value) in metrics {
+                inner.registry.set(name, kind, value);
+            }
+            inner.registry.snapshot_epoch(cycle);
+        }
+    }
+
+    /// The metrics registry, when tracing is on (harness-side extras:
+    /// absorbing a `StatSet`, histograms).
+    pub fn registry_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.inner.as_deref_mut().map(|i| &mut i.registry)
+    }
+
+    /// Consume the tracer into the run's telemetry (`None` when it was
+    /// disabled).
+    #[must_use]
+    pub fn finish(self) -> Option<RunTelemetry> {
+        self.inner.map(|inner| {
+            let dropped = inner.ring.dropped();
+            RunTelemetry {
+                events: inner.ring.into_vec(),
+                dropped_events: dropped,
+                series: inner.registry.into_series(),
+            }
+        })
+    }
+}
+
+/// Everything one run recorded.
+#[derive(Debug, Clone, Default)]
+pub struct RunTelemetry {
+    /// Traced events, oldest first (ring-bounded).
+    pub events: Vec<EventRecord>,
+    /// Events dropped by the ring.
+    pub dropped_events: u64,
+    /// The per-epoch metric series.
+    pub series: EpochSeries,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut t = Tracer::disabled();
+        assert!(!t.enabled());
+        let mut built = false;
+        t.emit(5, || {
+            built = true;
+            TraceEvent::FarFault { page: 1 }
+        });
+        assert!(!built, "payload closure must not run when disabled");
+        t.sample_epoch(5, [("x", MetricKind::Counter, 1)]);
+        assert!(t.registry_mut().is_none());
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn enabled_tracer_records_events_and_epochs() {
+        let mut t = Tracer::new(TraceConfig::on());
+        t.emit(10, || TraceEvent::FarFault { page: 3 });
+        t.sample_epoch(
+            10,
+            [
+                ("d.batches", MetricKind::Counter, 1),
+                ("m.resident", MetricKind::Gauge, 16),
+            ],
+        );
+        t.sample_epoch(
+            20,
+            [
+                ("d.batches", MetricKind::Counter, 2),
+                ("m.resident", MetricKind::Gauge, 32),
+            ],
+        );
+        let r = t.finish().unwrap();
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.series.rows.len(), 2);
+        assert_eq!(r.series.final_total("d.batches"), 2);
+        r.series.parity().unwrap();
+    }
+
+    #[test]
+    fn config_off_yields_disabled() {
+        let t = Tracer::new(TraceConfig::default());
+        assert!(!t.enabled());
+        assert!(Tracer::new(TraceConfig::on()).enabled());
+    }
+}

@@ -47,6 +47,7 @@ use sim_core::error::{require_positive, ConfigError};
 use sim_core::fault::{FaultInjector, InjectionStats};
 use sim_core::time::Cycle;
 use sim_core::{FxHashSet, TouchVec};
+use telemetry::{InjectedFaultKind, MetricKind, RunTelemetry, TraceEvent, Tracer};
 
 /// Driver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -130,6 +131,12 @@ pub struct ResilienceConfig {
     /// the baseline policy pair) before declaring a thrash crash. Off by
     /// default so the paper's Fig. 4 crash behaviour is untouched.
     pub degraded_mode: bool,
+    /// Recovery rung: after this many consecutive batches with no
+    /// thrash-detector trip, step one rung back up the ladder — re-arm
+    /// the original policy pair first, then restore full prefetch
+    /// aggressiveness. 0 (the default) disables recovery, so sheds are
+    /// permanent as in the plain ladder.
+    pub recovery_quiet_batches: u64,
 }
 
 impl Default for ResilienceConfig {
@@ -139,6 +146,7 @@ impl Default for ResilienceConfig {
             backoff_base_cycles: 2_000,
             backoff_cap_cycles: 64_000,
             degraded_mode: false,
+            recovery_quiet_batches: 0,
         }
     }
 }
@@ -150,6 +158,16 @@ impl ResilienceConfig {
         ResilienceConfig {
             degraded_mode: true,
             ..ResilienceConfig::default()
+        }
+    }
+
+    /// Degraded mode with the recovery rung armed: after `quiet`
+    /// thrash-free batches the driver steps one rung back up.
+    #[must_use]
+    pub fn degraded_with_recovery(quiet: u64) -> Self {
+        ResilienceConfig {
+            recovery_quiet_batches: quiet,
+            ..ResilienceConfig::degraded()
         }
     }
 }
@@ -222,6 +240,33 @@ pub struct DriverStats {
     pub throttle_sheds: u64,
     /// Degradation-ladder shed 2 activations (policy fallback).
     pub policy_fallbacks: u64,
+    /// Recovery-rung steps back up the ladder (quiet period elapsed).
+    pub rung_recoveries: u64,
+}
+
+impl DriverStats {
+    /// Counters under their stable telemetry names, in schema order.
+    #[must_use]
+    pub fn metrics(&self) -> [(&'static str, u64); 13] {
+        [
+            ("driver.batches", self.batches),
+            ("driver.faults_serviced", self.faults_serviced),
+            ("driver.coalesced_faults", self.coalesced_faults),
+            ("driver.retries", self.retries),
+            ("driver.retry_backoff_cycles", self.retry_backoff_cycles),
+            (
+                "driver.injected_transfer_faults",
+                self.injected_transfer_faults,
+            ),
+            ("driver.migrations_aborted", self.migrations_aborted),
+            ("driver.latency_spike_batches", self.latency_spike_batches),
+            ("driver.batch_splits", self.batch_splits),
+            ("driver.deferred_faults", self.deferred_faults),
+            ("driver.throttle_sheds", self.throttle_sheds),
+            ("driver.policy_fallbacks", self.policy_fallbacks),
+            ("driver.rung_recoveries", self.rung_recoveries),
+        ]
+    }
 }
 
 /// The UVM driver.
@@ -239,13 +284,22 @@ pub struct UvmDriver {
     /// Link bandwidth multiplier for the batch currently being serviced
     /// (1.0 outside injected degradation windows).
     service_bw: f64,
-    /// Degradation-ladder rungs climbed (0 = healthy, 1 = prefetch
-    /// throttled, 2 = fallen back to the baseline policy pair).
-    sheds: u32,
-    /// Thrash-detector baselines, reset at each shed so every rung gets
-    /// a fresh window to prove itself.
+    /// Current degradation-ladder rung (0 = healthy, 1 = prefetch
+    /// throttled, 2 = fallen back to the baseline policy pair). Recovery
+    /// steps it back down after a quiet period.
+    rung: u32,
+    /// Did the ladder shed at least once, ever (survives recovery)?
+    degraded_ever: bool,
+    /// Consecutive batches since the last thrash-detector trip
+    /// (recovery-rung clock).
+    quiet_batches: u64,
+    /// Thrash-detector baselines, reset at each rung transition so every
+    /// rung gets a fresh window to prove itself.
     shed_base_evicted: u64,
     shed_base_untouch: u64,
+    /// Telemetry recorder (inert unless armed via
+    /// [`UvmDriver::set_tracer`]).
+    tracer: Tracer,
     /// Driver-level counters.
     pub stats: DriverStats,
 }
@@ -296,9 +350,12 @@ impl UvmDriver {
             crashed: false,
             service_start: Cycle::ZERO,
             service_bw: 1.0,
-            sheds: 0,
+            rung: 0,
+            degraded_ever: false,
+            quiet_batches: 0,
             shed_base_evicted: 0,
             shed_base_untouch: 0,
+            tracer: Tracer::disabled(),
             stats: DriverStats::default(),
         })
     }
@@ -332,16 +389,29 @@ impl UvmDriver {
         self.crashed
     }
 
-    /// Has the degradation ladder shed at least once?
+    /// Has the degradation ladder shed at least once (even if recovery
+    /// later re-armed the full policy stack)?
     #[must_use]
     pub fn degraded(&self) -> bool {
-        self.sheds > 0
+        self.degraded_ever
     }
 
-    /// Degradation-ladder rungs climbed (0–2).
+    /// Current degradation-ladder rung (0–2; recovery steps back down).
     #[must_use]
     pub fn sheds(&self) -> u32 {
-        self.sheds
+        self.rung
+    }
+
+    /// Arm the driver with a telemetry tracer (typed events plus one
+    /// metrics epoch per serviced batch).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Take the recorded telemetry out of the driver (`None` when
+    /// tracing was off).
+    pub fn take_telemetry(&mut self) -> Option<RunTelemetry> {
+        std::mem::take(&mut self.tracer).finish()
     }
 
     /// Injection-side counters (what the injector actually fired).
@@ -386,6 +456,13 @@ impl UvmDriver {
         // the paper's thrashing metric is eviction traffic.
         self.pcie
             .transfer_d2h_at(u64::from(resident), self.service_start, self.service_bw);
+        let untouch = resident.saturating_sub(touch.count_touched());
+        self.tracer
+            .emit(self.service_start.0, || TraceEvent::Eviction {
+                chunk: victim.0,
+                resident,
+                untouch,
+            });
         self.engine.note_evicted(victim, touch, resident);
         true
     }
@@ -406,8 +483,10 @@ impl UvmDriver {
         now: Cycle,
         xlat: &mut TranslationPath,
     ) -> Result<BatchResult, UvmError> {
+        let batch_seq = self.stats.batches;
         self.stats.batches += 1;
         self.service_start = now;
+        let arrived = faults.len() as u32;
         // Perturbations for this batch: link bandwidth multiplier
         // (square wave of the current cycle) and queue overflow. A
         // disabled injector yields 1.0 / unlimited and draws no RNG.
@@ -415,7 +494,13 @@ impl UvmDriver {
         let (faults, deferred) = match self.injector.queue_depth() {
             Some(depth) if faults.len() > depth => {
                 self.stats.batch_splits += 1;
-                self.stats.deferred_faults += (faults.len() - depth) as u64;
+                let cut = (faults.len() - depth) as u64;
+                self.stats.deferred_faults += cut;
+                self.tracer.emit(now.0, || TraceEvent::InjectedFault {
+                    kind: InjectedFaultKind::QueueOverflow {
+                        deferred: cut as u32,
+                    },
+                });
                 (&faults[..depth], faults[depth..].to_vec())
             }
             _ => (faults, Vec::new()),
@@ -425,6 +510,9 @@ impl UvmDriver {
         if spike > 1.0 {
             self.stats.latency_spike_batches += 1;
             base_cycles = (base_cycles as f64 * spike).round() as u64;
+            self.tracer.emit(now.0, || TraceEvent::InjectedFault {
+                kind: InjectedFaultKind::LatencySpike,
+            });
         }
 
         let mut migrated: Vec<VirtPage> = Vec::new();
@@ -434,6 +522,7 @@ impl UvmDriver {
         // pinned against eviction for the duration of the batch.
         let mut pinned: FxHashSet<gmmu::types::ChunkId> = FxHashSet::default();
         let mut distinct = 0u64;
+        let mut coalesced = 0u32;
         // Host-side processing cursor: the 20 µs far-fault round trip,
         // then per-fault handling time, serialized on the host CPU.
         let mut host_cursor = now.after(base_cycles);
@@ -441,6 +530,7 @@ impl UvmDriver {
         for &fault in faults {
             if xlat.page_table().is_resident(fault) {
                 self.stats.coalesced_faults += 1;
+                coalesced += 1;
                 // Migrated by an earlier fault of this batch (or already
                 // in flight): ready once the host reaches it.
                 completions.push((fault, host_cursor));
@@ -451,6 +541,8 @@ impl UvmDriver {
             if distinct > 1 {
                 host_cursor = host_cursor.after(self.cfg.per_fault_cycles);
             }
+            self.tracer
+                .emit(host_cursor.0, || TraceEvent::FarFault { page: fault.0 });
 
             // Draw this migration's DMA fate *before* any state changes:
             // injected transient failures cost one backoff each (bounded
@@ -464,12 +556,23 @@ impl UvmDriver {
             let mut abort = false;
             while self.injector.transfer_fails() {
                 self.stats.injected_transfer_faults += 1;
+                self.tracer
+                    .emit(host_cursor.0, || TraceEvent::InjectedFault {
+                        kind: InjectedFaultKind::TransferFailure,
+                    });
                 if attempts > self.resilience.max_transfer_retries {
                     abort = true;
                     break;
                 }
-                backoff += backoff_cycles(&self.resilience, attempts);
+                let wait = backoff_cycles(&self.resilience, attempts);
+                backoff += wait;
                 self.stats.retries += 1;
+                let attempt = attempts;
+                self.tracer.emit(host_cursor.0, || TraceEvent::DmaRetry {
+                    page: fault.0,
+                    attempt,
+                    backoff_cycles: wait,
+                });
                 attempts += 1;
             }
             if backoff > 0 {
@@ -478,6 +581,10 @@ impl UvmDriver {
             }
             if abort {
                 self.stats.migrations_aborted += 1;
+                self.tracer.emit(host_cursor.0, || TraceEvent::DmaAbort {
+                    page: fault.0,
+                    attempts,
+                });
                 completions.push((fault, host_cursor));
                 continue;
             }
@@ -500,6 +607,13 @@ impl UvmDriver {
                 plan.push(fault);
                 plan.sort_unstable_by_key(|p| p.0);
             }
+
+            let planned = plan.len() as u32;
+            self.tracer
+                .emit(host_cursor.0, || TraceEvent::PrefetchDecision {
+                    page: fault.0,
+                    planned,
+                });
 
             for &p in &plan {
                 pinned.insert(p.chunk());
@@ -543,6 +657,12 @@ impl UvmDriver {
             let transfer_done = self
                 .pcie
                 .transfer_h2d_at(plan.len() as u64, now, self.service_bw);
+            let pages = plan.len() as u32;
+            self.tracer.emit(now.0, || TraceEvent::MigrationDma {
+                page: fault.0,
+                pages,
+                done_cycle: transfer_done.0,
+            });
             completions.push((fault, host_cursor.max(transfer_done)));
             migrated.extend_from_slice(&plan);
         }
@@ -555,7 +675,17 @@ impl UvmDriver {
             .unwrap_or(host_done)
             .max(host_done);
 
-        self.check_thrash();
+        self.check_thrash(now);
+
+        self.tracer.emit(now.0, || TraceEvent::BatchServiced {
+            batch: batch_seq,
+            arrived,
+            distinct: distinct as u32,
+            coalesced,
+            host_done_cycle: host_done.0,
+            done_cycle: done_at.0,
+        });
+        self.record_epoch(now);
 
         Ok(BatchResult {
             host_done,
@@ -581,7 +711,7 @@ impl UvmDriver {
     /// Disabled when `crash_min_evicted_factor` is 0, when the footprint
     /// is 0 (nothing to thrash against), or effectively when
     /// `crash_untouch_fraction > 1.0` (untouch never exceeds evictions).
-    fn check_thrash(&mut self) {
+    fn check_thrash(&mut self, now: Cycle) {
         if self.cfg.crash_min_evicted_factor == 0 || self.cfg.footprint_pages == 0 {
             return;
         }
@@ -591,13 +721,15 @@ impl UvmDriver {
         let armed = evicted > self.cfg.crash_min_evicted_factor * self.cfg.footprint_pages;
         let wasteful = (untouch as f64) > self.cfg.crash_untouch_fraction * evicted as f64;
         if !(armed && wasteful) {
+            self.try_recover(now);
             return;
         }
+        self.quiet_batches = 0;
         if !self.resilience.degraded_mode {
             self.crashed = true;
             return;
         }
-        match self.sheds {
+        match self.rung {
             0 => {
                 self.engine.shed_prefetch();
                 self.stats.throttle_sheds += 1;
@@ -611,9 +743,92 @@ impl UvmDriver {
                 return;
             }
         }
-        self.sheds += 1;
+        let from = self.rung;
+        self.rung += 1;
+        self.degraded_ever = true;
+        let to = self.rung;
+        self.tracer
+            .emit(now.0, || TraceEvent::RungTransition { from, to });
         self.shed_base_evicted = st.pages_evicted;
         self.shed_base_untouch = st.total_untouch;
+    }
+
+    /// Recovery rung: a batch passed without a thrash trip. Once
+    /// `recovery_quiet_batches` consecutive quiet batches accumulate,
+    /// step one rung back up the ladder — from the policy fallback to
+    /// "originals re-armed but prefetch still throttled", then from the
+    /// throttle to full aggressiveness — and give the detector a fresh
+    /// baseline window. Disabled when the quiet period is 0.
+    fn try_recover(&mut self, now: Cycle) {
+        if self.rung == 0 || self.resilience.recovery_quiet_batches == 0 {
+            return;
+        }
+        self.quiet_batches += 1;
+        if self.quiet_batches < self.resilience.recovery_quiet_batches {
+            return;
+        }
+        self.quiet_batches = 0;
+        let from = self.rung;
+        if self.rung == 2 {
+            // Re-arm the original policy pair but keep prefetch
+            // throttled: recovery retraces the ladder one rung at a
+            // time rather than jumping straight back to full throttle.
+            self.engine.restore_policies();
+            self.engine.shed_prefetch();
+        } else {
+            self.engine.restore_prefetch();
+        }
+        self.rung -= 1;
+        self.stats.rung_recoveries += 1;
+        let to = self.rung;
+        self.tracer
+            .emit(now.0, || TraceEvent::RungTransition { from, to });
+        let st = self.engine.stats;
+        self.shed_base_evicted = st.pages_evicted;
+        self.shed_base_untouch = st.total_untouch;
+    }
+
+    /// Snapshot every metric as one telemetry epoch at `now` (no-op when
+    /// tracing is off). One epoch per serviced batch: nothing mutates
+    /// driver or engine counters outside `service_batch`, so batch
+    /// granularity loses nothing.
+    fn record_epoch(&mut self, now: Cycle) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let mut m: Vec<(&'static str, MetricKind, u64)> = Vec::with_capacity(30);
+        for (n, v) in self.engine.stats.metrics() {
+            m.push((n, MetricKind::Counter, v));
+        }
+        m.push((
+            "cppe.wrong_evictions",
+            MetricKind::Counter,
+            self.engine.wrong_evictions(),
+        ));
+        for (n, v) in self.stats.metrics() {
+            m.push((n, MetricKind::Counter, v));
+        }
+        for (n, v) in self.injector.stats().metrics() {
+            m.push((n, MetricKind::Counter, v));
+        }
+        m.push(("pcie.bytes_h2d", MetricKind::Counter, self.pcie.bytes_h2d));
+        m.push(("pcie.bytes_d2h", MetricKind::Counter, self.pcie.bytes_d2h));
+        let free = u64::from(self.frames.free());
+        let resident = u64::from(self.frames.capacity()) - free;
+        m.push(("mem.resident_pages", MetricKind::Gauge, resident));
+        m.push(("mem.free_frames", MetricKind::Gauge, free));
+        m.push((
+            "cppe.chain_len",
+            MetricKind::Gauge,
+            self.engine.chain().len() as u64,
+        ));
+        m.push((
+            "cppe.prefetch_throttle",
+            MetricKind::Gauge,
+            u64::from(self.engine.prefetch_throttle()),
+        ));
+        m.push(("driver.rung", MetricKind::Gauge, u64::from(self.rung)));
+        self.tracer.sample_epoch(now.0, m);
     }
 }
 
@@ -1107,6 +1322,118 @@ mod tests {
         }
         assert_eq!(crashed_at, Some(2), "sheds twice, crashes on the third");
         assert_eq!(d.sheds(), 2);
+    }
+
+    /// Degraded driver over a thrash-then-quiet workload: trip the
+    /// ladder twice with white-box counter bumps (as in
+    /// `ladder_third_trip_crashes`), then run quiet batches.
+    fn ladder_then_quiet(
+        resilience: ResilienceConfig,
+        tracer: Option<telemetry::Tracer>,
+    ) -> UvmDriver {
+        let cfg = UvmConfig {
+            crash_untouch_fraction: 0.5,
+            crash_min_evicted_factor: 1,
+            footprint_pages: 4,
+            ..UvmConfig::table1(32, 4)
+        };
+        let mut d = UvmDriver::with_injection(
+            cfg,
+            PolicyPreset::Cppe.build(0),
+            FaultInjector::disabled(),
+            resilience,
+        )
+        .unwrap();
+        if let Some(t) = tracer {
+            d.set_tracer(t);
+        }
+        let mut xlat = TranslationPath::new(&TranslationConfig::default());
+        for trip in 0..2u64 {
+            d.engine_mut().stats.pages_evicted += 100;
+            d.engine_mut().stats.total_untouch += 90;
+            d.service_batch(&[], Cycle(trip * 100_000), &mut xlat)
+                .unwrap();
+        }
+        assert_eq!(d.sheds(), 2, "both rungs climbed");
+        for i in 0..4u64 {
+            d.service_batch(&[], Cycle(1_000_000 + i * 100_000), &mut xlat)
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn recovery_rearms_after_quiet_period() {
+        let d = ladder_then_quiet(ResilienceConfig::degraded_with_recovery(2), None);
+        // Quiet batches 2 and 4 each step one rung back up.
+        assert_eq!(d.sheds(), 0, "fully recovered");
+        assert_eq!(d.stats.rung_recoveries, 2);
+        assert!(!d.engine().fell_back(), "original policies re-armed");
+        assert_eq!(d.engine().name(), PolicyPreset::Cppe.build(0).name());
+        assert_eq!(d.engine().prefetch_throttle(), 1, "throttle released");
+        assert!(d.degraded(), "shed history survives recovery");
+        assert!(!d.crashed());
+    }
+
+    #[test]
+    fn recovery_disabled_by_default_quiet_period() {
+        let d = ladder_then_quiet(ResilienceConfig::degraded(), None);
+        assert_eq!(d.sheds(), 2, "no recovery without a quiet period");
+        assert_eq!(d.stats.rung_recoveries, 0);
+        assert!(d.engine().fell_back());
+    }
+
+    #[test]
+    fn rung_transitions_emit_telemetry_both_directions() {
+        use telemetry::{TraceConfig, TraceEvent, Tracer};
+        let mut d = ladder_then_quiet(
+            ResilienceConfig::degraded_with_recovery(2),
+            Some(Tracer::new(TraceConfig::on())),
+        );
+        let t = d.take_telemetry().expect("tracing was on");
+        let rungs: Vec<(u32, u32)> = t
+            .events
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::RungTransition { from, to } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            rungs,
+            vec![(0, 1), (1, 2), (2, 1), (1, 0)],
+            "down the ladder, then back up"
+        );
+        assert!(d.take_telemetry().is_none(), "telemetry is taken once");
+    }
+
+    #[test]
+    fn traced_run_records_events_and_epochs() {
+        use telemetry::{TraceConfig, TraceEvent, Tracer};
+        let (mut d, mut xlat) = setup(32, PolicyPreset::Baseline);
+        d.set_tracer(Tracer::new(TraceConfig::on()));
+        d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat)
+            .unwrap();
+        d.service_batch(&[VirtPage(16)], Cycle(100_000), &mut xlat)
+            .unwrap();
+        d.service_batch(&[VirtPage(32)], Cycle(200_000), &mut xlat)
+            .unwrap();
+        let t = d.take_telemetry().unwrap();
+        assert_eq!(t.series.rows.len(), 3, "one epoch per batch");
+        t.series.parity().expect("counter deltas reconcile");
+        assert_eq!(t.series.final_total("driver.batches"), 3);
+        assert_eq!(t.series.final_total("cppe.pages_evicted"), 16);
+        assert_eq!(
+            t.series.final_total("mem.resident_pages"),
+            32,
+            "memory full after the eviction round-trip"
+        );
+        let has = |pred: &dyn Fn(&TraceEvent) -> bool| t.events.iter().any(|e| pred(&e.event));
+        assert!(has(&|e| matches!(e, TraceEvent::FarFault { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::PrefetchDecision { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::MigrationDma { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::Eviction { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::BatchServiced { .. })));
     }
 
     #[test]
