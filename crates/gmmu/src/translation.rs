@@ -59,6 +59,26 @@ pub enum TranslationOutcome {
     },
 }
 
+/// Per-stage timestamps of one translation, for latency attribution.
+///
+/// Stages that did not run collapse to the previous stage's timestamp
+/// (an L1 hit leaves `l2_done == l1_done` and `walk_done == l2_done`),
+/// so consecutive differences are always the true per-stage costs:
+/// `l1_done - issue` (L1 probe), `l2_done - l1_done` (L2 probe),
+/// `walk_started - l2_done` (walker slot queueing) and
+/// `walk_done - walk_started` (the walk's service time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslationTiming {
+    /// When the L1 TLB probe completed.
+    pub l1_done: Cycle,
+    /// When the shared L2 TLB probe completed.
+    pub l2_done: Cycle,
+    /// When the page-table walk left the slot queue.
+    pub walk_started: Cycle,
+    /// When the walk completed.
+    pub walk_done: Cycle,
+}
+
 /// The full translation hierarchy.
 #[derive(Debug)]
 pub struct TranslationPath {
@@ -93,28 +113,66 @@ impl TranslationPath {
     /// # Panics
     /// Panics if `sm` is out of range.
     pub fn translate(&mut self, sm: SmId, page: VirtPage, now: Cycle) -> TranslationOutcome {
+        self.translate_timed(sm, page, now).0
+    }
+
+    /// [`translate`](TranslationPath::translate), additionally reporting
+    /// when each stage of the pipeline completed. The timing is derived
+    /// from the same arithmetic that produces the outcome — requesting
+    /// it cannot change a run.
+    ///
+    /// # Panics
+    /// Panics if `sm` is out of range.
+    pub fn translate_timed(
+        &mut self,
+        sm: SmId,
+        page: VirtPage,
+        now: Cycle,
+    ) -> (TranslationOutcome, TranslationTiming) {
         let l1 = &mut self.l1[sm.idx()];
         let l1_latency = l1.hit_latency();
-        if let Some(frame) = l1.lookup(page) {
-            return TranslationOutcome::Hit {
-                frame,
-                ready_at: now.after(l1_latency),
-            };
-        }
         let after_l1 = now.after(l1_latency);
+        if let Some(frame) = l1.lookup(page) {
+            return (
+                TranslationOutcome::Hit {
+                    frame,
+                    ready_at: after_l1,
+                },
+                TranslationTiming {
+                    l1_done: after_l1,
+                    l2_done: after_l1,
+                    walk_started: after_l1,
+                    walk_done: after_l1,
+                },
+            );
+        }
         let l2_latency = self.l2.hit_latency();
+        let after_l2 = after_l1.after(l2_latency);
         if let Some(frame) = self.l2.lookup(page) {
             self.l1[sm.idx()].insert(page, frame);
-            return TranslationOutcome::Hit {
-                frame,
-                ready_at: after_l1.after(l2_latency),
-            };
+            return (
+                TranslationOutcome::Hit {
+                    frame,
+                    ready_at: after_l2,
+                },
+                TranslationTiming {
+                    l1_done: after_l1,
+                    l2_done: after_l2,
+                    walk_started: after_l2,
+                    walk_done: after_l2,
+                },
+            );
         }
-        let walk_start = after_l1.after(l2_latency);
         let out = self
             .walker
-            .walk(page, walk_start, &mut self.pwc, &self.page_table);
-        match out.residency {
+            .walk(page, after_l2, &mut self.pwc, &self.page_table);
+        let timing = TranslationTiming {
+            l1_done: after_l1,
+            l2_done: after_l2,
+            walk_started: out.started_at,
+            walk_done: out.complete_at,
+        };
+        let outcome = match out.residency {
             Residency::Resident(frame) => {
                 self.l2.insert(page, frame);
                 self.l1[sm.idx()].insert(page, frame);
@@ -126,7 +184,8 @@ impl TranslationPath {
             Residency::NotResident => TranslationOutcome::Fault {
                 at: out.complete_at,
             },
-        }
+        };
+        (outcome, timing)
     }
 
     /// Driver side: map `page` into GPU memory.
@@ -324,6 +383,47 @@ mod tests {
         };
         // Full path again (L1 miss + L2 miss + warm walk of 1 ref).
         assert!(ready_at.0 > 10_000 + 100, "fault must not fill TLBs");
+    }
+
+    #[test]
+    fn timed_translate_reports_stage_breakdown() {
+        let mut p = path();
+        // Cold fault: every stage runs.
+        let (out, t) = p.translate_timed(SmId(0), VirtPage(0), Cycle::ZERO);
+        assert!(matches!(out, TranslationOutcome::Fault { .. }));
+        assert_eq!(t.l1_done, Cycle(1));
+        assert_eq!(t.l2_done, Cycle(11));
+        assert_eq!(t.walk_started, Cycle(11), "no slot contention at t=0");
+        assert_eq!(t.walk_done, Cycle(11 + 10 + 600));
+        let TranslationOutcome::Fault { at } = out else {
+            unreachable!()
+        };
+        assert_eq!(t.walk_done, at, "timing agrees with the outcome");
+
+        // L1 hit: later stages collapse onto the L1 timestamp.
+        p.map(VirtPage(5), Frame(2), true);
+        p.translate(SmId(0), VirtPage(5), Cycle(10_000));
+        let (out, t) = p.translate_timed(SmId(0), VirtPage(5), Cycle(20_000));
+        let TranslationOutcome::Hit { ready_at, .. } = out else {
+            panic!("expected hit");
+        };
+        assert_eq!(t.l1_done, ready_at);
+        assert_eq!(t.l2_done, t.l1_done);
+        assert_eq!(t.walk_done, t.l1_done);
+    }
+
+    #[test]
+    fn timed_and_plain_translate_agree() {
+        let mut a = path();
+        let mut b = path();
+        a.map(VirtPage(1), Frame(0), true);
+        b.map(VirtPage(1), Frame(0), true);
+        for (i, page) in [0u64, 1, 1, 9, 0, 1].into_iter().enumerate() {
+            let now = Cycle(i as u64 * 5_000);
+            let plain = a.translate(SmId(0), VirtPage(page), now);
+            let (timed, _) = b.translate_timed(SmId(0), VirtPage(page), now);
+            assert_eq!(plain, timed, "step {i}");
+        }
     }
 
     #[test]

@@ -40,6 +40,10 @@ impl Default for WalkerConfig {
 /// Result of one walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalkOutcome {
+    /// Absolute time the walk left the slot queue and started
+    /// traversing (`complete_at - started_at` is pure service time,
+    /// `started_at - issue` is slot queueing).
+    pub started_at: Cycle,
     /// Absolute time the walk finishes (slot queueing included).
     pub complete_at: Cycle,
     /// What the leaf PTE said.
@@ -122,6 +126,7 @@ impl Walker {
             self.faulting_walks.inc();
         }
         WalkOutcome {
+            started_at: start,
             complete_at,
             residency,
         }
@@ -184,9 +189,11 @@ mod tests {
         let mut pwc = WalkCache::table1_default();
         let pt = PageTable::new();
         let a = w.walk(VirtPage(0), Cycle::ZERO, &mut pwc, &pt);
+        assert_eq!(a.started_at, Cycle::ZERO, "first walk starts at once");
         // Second walk issued at t=0 must wait for the single slot. It is
         // warm (shares the L2 node), so service = 10 + 100.
         let b = w.walk(VirtPage(1), Cycle::ZERO, &mut pwc, &pt);
+        assert_eq!(b.started_at, a.complete_at, "queued behind the slot");
         assert_eq!(b.complete_at, a.complete_at.after(10 + 100));
     }
 

@@ -21,6 +21,7 @@ use sim_core::events::EventQueue;
 use sim_core::fault::{FaultInjector, InjectionStats};
 use sim_core::rng::Xoshiro256ss;
 use sim_core::time::Cycle;
+use telemetry::{SpanId, SpanStage};
 use uvm::driver::{DriverStats, UvmConfig, UvmDriver};
 use workloads::{AccessStep, LaneItem};
 
@@ -124,6 +125,56 @@ enum Event {
     DriverFree,
 }
 
+/// Close the fault-queue-wait span of every lane whose fault this batch
+/// completed, and hang its batch-service span off the fault root. A page
+/// may appear in `completions` more than once (a coalesced duplicate and
+/// its serviced original carry different times); the waiters wake at the
+/// *earliest* completion, so that is the service end — keeping replay
+/// contiguous with batch service and one service span per lifecycle.
+fn record_batch_spans(
+    tracer: &mut telemetry::Tracer,
+    completions: &[(VirtPage, Cycle)],
+    waiting: &sim_core::FxHashMap<VirtPage, Vec<u32>>,
+    fault_spans: &sim_core::FxHashMap<(u64, u32), (SpanId, SpanId, u64)>,
+    dispatch: Cycle,
+    warps_per_sm: usize,
+) {
+    let mut ready: std::collections::BTreeMap<VirtPage, Cycle> = std::collections::BTreeMap::new();
+    for &(page, t_done) in completions {
+        ready
+            .entry(page)
+            .and_modify(|t| *t = (*t).min(t_done))
+            .or_insert(t_done);
+    }
+    for (page, t_done) in ready {
+        let Some(lanes) = waiting.get(&page) else {
+            continue;
+        };
+        for &lane in lanes {
+            let Some(&(root, queue_wait, fault_at)) = fault_spans.get(&(page.0, lane)) else {
+                continue;
+            };
+            // A queued fault can be dispatched before its own walk
+            // resolves (the queue admits it at issue, not at walk
+            // completion); service begins no earlier than the fault
+            // itself, keeping the stage segments contiguous.
+            let service_start = dispatch.0.max(fault_at);
+            if tracer.span_close(queue_wait, service_start) {
+                let sm = (lane as usize / warps_per_sm) as u16;
+                tracer.span(
+                    SpanStage::BatchService,
+                    service_start,
+                    t_done.0,
+                    root,
+                    sm,
+                    lane,
+                    page.0,
+                );
+            }
+        }
+    }
+}
+
 /// Run plain access streams (no barriers) — convenience wrapper around
 /// [`simulate`].
 #[must_use]
@@ -202,6 +253,17 @@ pub fn simulate(
     )
     .expect("invalid GPU/UVM configuration — pre-check with GpuConfig::validate");
     driver.set_tracer(telemetry::Tracer::new(cfg.trace));
+    let tracing = driver.tracer_mut().enabled();
+    // Open fault lifecycles, keyed by (page, lane): the FaultTotal root,
+    // its still-open FaultQueueWait child, and the cycle the fault was
+    // raised. A lane blocks while faulting, so at most one entry per
+    // lane exists at a time.
+    let mut fault_spans: sim_core::FxHashMap<(u64, u32), (SpanId, SpanId, u64)> =
+        sim_core::FxHashMap::default();
+    // Replaying lanes: (root, open Replay span), closed on the next
+    // translate outcome for that lane.
+    let mut replay_spans: sim_core::FxHashMap<u32, (SpanId, SpanId)> =
+        sim_core::FxHashMap::default();
     let mut caches = DataHierarchy::new(cfg.sms);
     let mut q: EventQueue<Event> = EventQueue::new();
     let mut idx = vec![0usize; streams.len()];
@@ -256,8 +318,16 @@ pub fn simulate(
                     LaneItem::Access(step) => step,
                 };
                 let sm = SmId((l / cfg.warps_per_sm) as u16);
-                match xlat.translate(sm, step.page, now) {
+                let (out, timing) = xlat.translate_timed(sm, step.page, now);
+                match out {
                     TranslationOutcome::Hit { ready_at, .. } => {
+                        if tracing {
+                            if let Some((root, replay)) = replay_spans.remove(&lane) {
+                                let tr = driver.tracer_mut();
+                                tr.span_close(replay, ready_at.0);
+                                tr.span_close(root, ready_at.0);
+                            }
+                        }
                         xlat.mark_touched(step.page);
                         let dlat = caches.access(sm.idx(), step.page, now);
                         idx[l] += 1;
@@ -272,6 +342,71 @@ pub fn simulate(
                         q.push(ready_at.after(dlat + compute), Event::LaneReady(lane));
                     }
                     TranslationOutcome::Fault { at } => {
+                        if tracing {
+                            let tr = driver.tracer_mut();
+                            // A replaying lane that faults again (page
+                            // evicted or its migration aborted) ends the
+                            // old lifecycle at the re-issue and opens a
+                            // fresh one.
+                            if let Some((root, replay)) = replay_spans.remove(&lane) {
+                                tr.span_close(replay, now.0);
+                                tr.span_close(root, now.0);
+                            }
+                            let page = step.page.0;
+                            let root = tr.span_open(
+                                SpanStage::FaultTotal,
+                                now.0,
+                                SpanId::NONE,
+                                sm.0,
+                                lane,
+                                page,
+                            );
+                            tr.span(
+                                SpanStage::TlbL1,
+                                now.0,
+                                timing.l1_done.0,
+                                root,
+                                sm.0,
+                                lane,
+                                page,
+                            );
+                            tr.span(
+                                SpanStage::TlbL2,
+                                timing.l1_done.0,
+                                timing.l2_done.0,
+                                root,
+                                sm.0,
+                                lane,
+                                page,
+                            );
+                            tr.span(
+                                SpanStage::WalkerQueue,
+                                timing.l2_done.0,
+                                timing.walk_started.0,
+                                root,
+                                sm.0,
+                                lane,
+                                page,
+                            );
+                            tr.span(
+                                SpanStage::PageWalk,
+                                timing.walk_started.0,
+                                at.0,
+                                root,
+                                sm.0,
+                                lane,
+                                page,
+                            );
+                            let queue_wait = tr.span_open(
+                                SpanStage::FaultQueueWait,
+                                at.0,
+                                root,
+                                sm.0,
+                                lane,
+                                page,
+                            );
+                            fault_spans.insert((page, lane), (root, queue_wait, at.0));
+                        }
                         pending_faults.push(step.page);
                         waiting.entry(step.page).or_default().push(lane);
                         if !driver_busy {
@@ -289,6 +424,16 @@ pub fn simulate(
                                 outcome = Outcome::Crashed;
                                 end = r.done_at;
                                 break;
+                            }
+                            if tracing {
+                                record_batch_spans(
+                                    driver.tracer_mut(),
+                                    &r.completions,
+                                    &waiting,
+                                    &fault_spans,
+                                    at,
+                                    cfg.warps_per_sm,
+                                );
                             }
                             // Overflow tail (injected queue-depth limit):
                             // re-queue for the next batch.
@@ -320,6 +465,20 @@ pub fn simulate(
                 // their own completions by the driver.
                 if let Some(lanes) = waiting.remove(&page) {
                     for lane in lanes {
+                        if tracing {
+                            if let Some((root, queue_wait, _)) = fault_spans.remove(&(page.0, lane))
+                            {
+                                let tr = driver.tracer_mut();
+                                // A lane whose own fault never made a
+                                // batch (another lane's did) waits until
+                                // the shared page lands.
+                                tr.span_close(queue_wait, now.0);
+                                let sm = (lane as usize / cfg.warps_per_sm) as u16;
+                                let replay =
+                                    tr.span_open(SpanStage::Replay, now.0, root, sm, lane, page.0);
+                                replay_spans.insert(lane, (root, replay));
+                            }
+                        }
                         q.push(now, Event::LaneReady(lane));
                     }
                 }
@@ -344,6 +503,16 @@ pub fn simulate(
                         outcome = Outcome::Crashed;
                         end = r.done_at;
                         break;
+                    }
+                    if tracing {
+                        record_batch_spans(
+                            driver.tracer_mut(),
+                            &r.completions,
+                            &waiting,
+                            &fault_spans,
+                            now,
+                            cfg.warps_per_sm,
+                        );
                     }
                     pending_faults.extend(r.deferred);
                     for p in r.evicted {

@@ -1,13 +1,43 @@
 //! Validate exported trace artifacts: every `results/*.csv` must parse
 //! as rectangular RFC-4180 CSV and every `results/*.json` as
 //! well-formed JSON, through the same `telemetry` parsers the golden
-//! tests use. CI runs this after the traced smoke/timeline runs;
-//! exits non-zero on the first malformed artifact.
+//! tests use. Chrome traces (`*trace.json`) additionally get their
+//! `ph:"B"`/`ph:"E"` span events balance-checked, and
+//! `BENCH_profile.json` must carry the expected schema marker with at
+//! least one profiled workload. CI runs this after the traced
+//! smoke/timeline/profile runs; exits non-zero on the first malformed
+//! artifact.
 //!
 //! Usage: `validate-trace [DIR]` (default `results`).
 
 use std::path::Path;
 use std::process::ExitCode;
+
+/// Checks beyond well-formedness, keyed off the artifact's file name.
+fn validate_json_artifact(name: &str, body: &str) -> Result<String, String> {
+    telemetry::json::validate(body)?;
+    if name.ends_with("trace.json") {
+        let pairs = telemetry::export::span_balance(body)?;
+        return Ok(format!("spans balanced, {pairs} B/E pairs"));
+    }
+    if name == "BENCH_profile.json" {
+        let marker = format!(
+            "\"schema\":{}",
+            telemetry::json::string(harness::experiments::profile::SCHEMA)
+        );
+        if !body.starts_with('{') || !body.contains(&marker) {
+            return Err(format!(
+                "missing schema marker {:?}",
+                harness::experiments::profile::SCHEMA
+            ));
+        }
+        if !body.contains("\"app\":") || !body.contains("\"p99\":") {
+            return Err("no profiled workload with stage quantiles".into());
+        }
+        return Ok("profile schema ok".to_string());
+    }
+    Ok("ok".to_string())
+}
 
 fn main() -> ExitCode {
     let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
@@ -27,13 +57,18 @@ fn main() -> ExitCode {
 
     for path in names {
         let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
         let verdict = match ext {
             "csv" => std::fs::read_to_string(&path)
                 .map_err(|e| e.to_string())
                 .and_then(|s| telemetry::csv::validate(&s).map(|cols| cols.len().to_string())),
             "json" => std::fs::read_to_string(&path)
                 .map_err(|e| e.to_string())
-                .and_then(|s| telemetry::json::validate(&s).map(|()| "ok".to_string())),
+                .and_then(|s| validate_json_artifact(&name, &s)),
             _ => continue,
         };
         checked += 1;

@@ -182,9 +182,14 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
     );
 
     // When traced, the ladder demo is the interesting run to look at in
-    // Perfetto: rung transitions sit on the "ladder" track.
+    // Perfetto: rung transitions sit on the "ladder" track. A lossy
+    // trace is flagged so a truncated artifact never reads as complete.
+    let mut banner = String::new();
     if cfg.gpu.trace.enabled {
         if let Some(t) = &recovered.telemetry {
+            if let Some(b) = telemetry::export::loss_banner(t) {
+                banner = format!("\n{b}\n");
+            }
             if cfg.trace_format.wants_chrome() {
                 let _ = save(
                     "chaos_mvt_ladder_trace.json",
@@ -214,12 +219,13 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
          Cells: clean column is absolute cycles; others are slowdown\n\
          factors. * = completed degraded, † = crashed, ‡ = timeout.\n\n\
          Driver resilience counters under the combined scenario:\n\n{}\n\
-         Degradation ladder:\n{}\n",
+         Degradation ladder:\n{}\n{}",
         cfg.scale,
         cfg.seed,
         table.render(),
         drv.render(),
-        ladder
+        ladder,
+        banner
     )
 }
 

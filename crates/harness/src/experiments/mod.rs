@@ -24,6 +24,7 @@
 //! | [`timeline`] | extension: thrash dynamics over run time (CSV) |
 //! | [`stability`] | extension: jitter-seed robustness of Fig. 8 |
 //! | [`chaos`] | extension: slowdown under deterministic fault injection |
+//! | [`profile`] | extension: fault-lifecycle latency profile (BENCH_profile.json) |
 
 pub mod ablation;
 pub mod bound;
@@ -36,6 +37,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod motivation;
 pub mod overhead;
+pub mod profile;
 pub mod sens;
 pub mod sens2;
 pub mod stability;

@@ -104,6 +104,22 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
         drv.row(vec![(*name).to_string(), b.to_string(), c.to_string()]);
     }
 
+    // Where the fault time went, per policy: the span trees folded into
+    // per-stage latency distributions. A lossy ring gets a warning so a
+    // truncated distribution never reads as a complete one.
+    let mut stages = String::new();
+    for (label, r) in [("baseline", &base), ("cppe", &cppe)] {
+        let t = r.telemetry.as_ref().expect("timeline runs are traced");
+        if let Some(banner) = export::loss_banner(t) {
+            stages.push_str(&banner);
+            stages.push('\n');
+        }
+        let attr = telemetry::LatencyAttribution::from_spans(&t.spans);
+        stages.push_str(&format!("{label}:\n"));
+        stages.push_str(&crate::experiments::profile::stage_table(&attr).render());
+        stages.push('\n');
+    }
+
     format!(
         "Timeline (extension) — cumulative evicted pages over run time for\n\
          {app} at 50% oversubscription, scale={} (full per-batch series in\n\
@@ -111,10 +127,12 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
          Expected: the baseline accumulates eviction traffic at a steady\n\
          thrash rate; CPPE's curve flattens once the chain classification\n\
          settles (MRU retention) and the pattern buffer warms up.\n\n\
-         Driver resilience totals (end of run):\n\n{}",
+         Driver resilience totals (end of run):\n\n{}\n\
+         Fault-lifecycle stage latencies (cycles):\n\n{}",
         cfg.scale,
         table.render(),
-        drv.render()
+        drv.render(),
+        stages
     )
 }
 
@@ -140,5 +158,7 @@ mod tests {
         assert!(report.contains("baseline evictions"));
         assert!(report.contains("driver.retries"));
         assert!(report.contains("driver.rung_recoveries"));
+        assert!(report.contains("Fault-lifecycle stage latencies"));
+        assert!(report.contains("fault_total"));
     }
 }

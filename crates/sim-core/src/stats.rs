@@ -92,6 +92,45 @@ impl Histogram {
         self.buckets.get(&value).copied().unwrap_or(0)
     }
 
+    /// Nearest-rank quantile: the smallest recorded value whose
+    /// cumulative count reaches `⌈q·count⌉`. `q` is clamped to `[0, 1]`;
+    /// an empty histogram reports 0, `q = 1` reports the maximum.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (value, n) in self.iter() {
+            cum = cum.saturating_add(n);
+            if cum >= rank {
+                return value;
+            }
+        }
+        self.max
+    }
+
+    /// Median (nearest-rank).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (nearest-rank).
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (nearest-rank).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Iterate `(value, count)` in ascending value order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets.iter().map(|(&v, &c)| (v, c))
@@ -186,6 +225,54 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_empty_histogram_report_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn quantiles_single_bucket_report_that_value() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(42);
+        }
+        assert_eq!(h.quantile(0.0), 42);
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.p95(), 42);
+        assert_eq!(h.p99(), 42);
+        assert_eq!(h.quantile(1.0), 42);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank_over_spread() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p95(), 95);
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.quantile(0.0), 1, "q=0 clamps to the first rank");
+    }
+
+    #[test]
+    fn quantiles_saturate_out_of_range_q() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(7);
+        assert_eq!(h.quantile(-1.0), 3, "q below 0 clamps to the minimum");
+        assert_eq!(h.quantile(2.0), 7, "q above 1 clamps to the maximum");
+        // u64::MAX observations must not overflow the rank arithmetic.
+        let mut big = Histogram::new();
+        big.record(u64::MAX);
+        assert_eq!(big.p99(), u64::MAX);
     }
 
     #[test]

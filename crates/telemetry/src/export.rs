@@ -14,8 +14,10 @@ use crate::csv::CsvWriter;
 use crate::event::TraceEvent;
 use crate::json;
 use crate::metrics::{EpochSeries, MetricKind};
+use crate::span::{SpanRecord, SpanStage};
 use crate::tracer::RunTelemetry;
 use sim_core::time::GPU_CLOCK_GHZ;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Which exports a harness run should write.
@@ -101,6 +103,13 @@ pub fn run_summary_json(outcome: &str, cycles: u64, telemetry: &RunTelemetry) ->
         telemetry.events.len(),
         telemetry.dropped_events
     );
+    let _ = write!(
+        s,
+        "\"spans\":{{\"recorded\":{},\"dropped\":{},\"unclosed\":{}}},",
+        telemetry.spans.len(),
+        telemetry.dropped_spans,
+        telemetry.unclosed_spans
+    );
     s.push_str("\"metrics\":{");
     for (i, (name, kind)) in telemetry.series.schema.iter().enumerate() {
         if i > 0 {
@@ -130,16 +139,31 @@ fn ts_us(cycle: u64) -> String {
     format!("{us:.3}")
 }
 
-/// Render the event ring as Chrome trace-event JSON (the
+/// Render the event ring and span trees as Chrome trace-event JSON (the
 /// `{"traceEvents":[...]}` wrapper format Perfetto loads directly).
 ///
-/// Batch service and migration DMAs become duration (`ph:"X"`) spans on
-/// their tracks; everything else becomes thread-scoped instants
-/// (`ph:"i"`).
+/// Batch service and migration DMA *events* become duration (`ph:"X"`)
+/// spans on their tracks and the remaining events thread-scoped instants
+/// (`ph:"i"`), exactly as before. Recorded *spans* add the flame view:
+/// each lane's fault trees render as nested `ph:"B"`/`ph:"E"` pairs on a
+/// per-lane track (tid `1000 + lane`), and driver-side spans (batch /
+/// host service / retry backoff / PCIe and eviction DMAs) render as `X`
+/// slices on per-stage tracks — driver batches overlap in time (the host
+/// frees up before the last transfer lands), which `B`/`E` nesting
+/// cannot express.
 #[must_use]
 pub fn chrome_trace_json(telemetry: &RunTelemetry) -> String {
-    // Stable tid per track, in lifecycle order.
+    // Stable tid per event track, in lifecycle order; driver-side span
+    // stages follow, lane span tracks start at LANE_TID_BASE.
     const TRACKS: [&str; 6] = ["driver", "fault", "dma", "evict", "ladder", "inject"];
+    const SPAN_TRACKS: [(SpanStage, usize); 5] = [
+        (SpanStage::DriverBatch, 6),
+        (SpanStage::HostService, 7),
+        (SpanStage::RetryBackoff, 8),
+        (SpanStage::PcieTransfer, 9),
+        (SpanStage::EvictionDma, 10),
+    ];
+    const LANE_TID_BASE: u64 = 1000;
     let tid = |track: &str| TRACKS.iter().position(|t| *t == track).unwrap_or(0);
 
     let mut s = String::from("{\"traceEvents\":[");
@@ -187,8 +211,140 @@ pub fn chrome_trace_json(telemetry: &RunTelemetry) -> String {
         };
         push(&mut s, &item);
     }
+
+    // Driver-side spans: X slices on per-stage tracks.
+    for &(stage, stage_tid) in &SPAN_TRACKS {
+        if telemetry.spans.iter().any(|sp| sp.stage == stage) {
+            push(
+                &mut s,
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":1,\"tid\":{stage_tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":{}}}}}",
+                    json::string(&format!("span.{}", stage.name()))
+                ),
+            );
+        }
+    }
+    for sp in &telemetry.spans {
+        let Some(&(_, stage_tid)) = SPAN_TRACKS.iter().find(|&&(st, _)| st == sp.stage) else {
+            continue;
+        };
+        push(
+            &mut s,
+            &format!(
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"span\",\"pid\":1,\"tid\":{stage_tid},\
+                 \"ts\":{},\"dur\":{},\"args\":{{\"page\":{}}}}}",
+                sp.stage.name(),
+                ts_us(sp.start),
+                ts_us(sp.duration()),
+                sp.page
+            ),
+        );
+    }
+
+    // Lane-side fault trees: nested B/E pairs, one track per lane. The
+    // tree recursion guarantees every B gets its E and that children
+    // emit inside their parent, regardless of timestamp ties.
+    let mut by_lane: BTreeMap<u32, Vec<&SpanRecord>> = BTreeMap::new();
+    for sp in &telemetry.spans {
+        if sp.stage.lane_scoped() {
+            by_lane.entry(sp.lane).or_default().push(sp);
+        }
+    }
+    for (lane, spans) in by_lane {
+        let lane_tid = LANE_TID_BASE + u64::from(lane);
+        push(
+            &mut s,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane_tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"lane{lane}\"}}}}",
+            ),
+        );
+        let ids: std::collections::BTreeSet<u64> = spans.iter().map(|sp| sp.id).collect();
+        let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+        let mut roots: Vec<&SpanRecord> = Vec::new();
+        for sp in &spans {
+            if sp.parent != 0 && ids.contains(&sp.parent) {
+                children.entry(sp.parent).or_default().push(sp);
+            } else {
+                roots.push(sp);
+            }
+        }
+        for list in children.values_mut() {
+            list.sort_by_key(|sp| (sp.start, sp.id));
+        }
+        roots.sort_by_key(|sp| (sp.start, sp.id));
+        // Lane trees are two levels deep (fault root → stage children),
+        // so an explicit stack is overkill — recurse.
+        fn emit_tree(
+            s: &mut String,
+            push: &mut impl FnMut(&mut String, &str),
+            children: &BTreeMap<u64, Vec<&SpanRecord>>,
+            sp: &SpanRecord,
+            lane_tid: u64,
+        ) {
+            push(
+                s,
+                &format!(
+                    "{{\"ph\":\"B\",\"name\":\"{}\",\"cat\":\"span\",\"pid\":1,\
+                     \"tid\":{lane_tid},\"ts\":{},\"args\":{{\"page\":{},\"sm\":{}}}}}",
+                    sp.stage.name(),
+                    ts_us(sp.start),
+                    sp.page,
+                    sp.sm
+                ),
+            );
+            for child in children.get(&sp.id).into_iter().flatten() {
+                emit_tree(s, push, children, child, lane_tid);
+            }
+            push(
+                s,
+                &format!(
+                    "{{\"ph\":\"E\",\"name\":\"{}\",\"cat\":\"span\",\"pid\":1,\
+                     \"tid\":{lane_tid},\"ts\":{}}}",
+                    sp.stage.name(),
+                    ts_us(sp.end),
+                ),
+            );
+        }
+        for root in roots {
+            emit_tree(&mut s, &mut push, &children, root, lane_tid);
+        }
+    }
+
     s.push_str("]}");
     s
+}
+
+/// Count `ph:"B"` and `ph:"E"` events in a Chrome trace and check they
+/// balance. Returns the pair count.
+///
+/// # Errors
+/// Returns a description of the imbalance.
+pub fn span_balance(trace_json: &str) -> Result<usize, String> {
+    let begins = trace_json.matches("\"ph\":\"B\"").count();
+    let ends = trace_json.matches("\"ph\":\"E\"").count();
+    if begins == ends {
+        Ok(begins)
+    } else {
+        Err(format!("unbalanced span events: {begins} B vs {ends} E"))
+    }
+}
+
+/// One-line warning when the bounded rings overflowed and telemetry is
+/// therefore incomplete (`None` when nothing was lost). Reports print
+/// this so a truncated trace never masquerades as a complete one.
+#[must_use]
+pub fn loss_banner(telemetry: &RunTelemetry) -> Option<String> {
+    if !telemetry.lossy() {
+        return None;
+    }
+    Some(format!(
+        "WARNING: telemetry rings overflowed — {} events and {} spans \
+         dropped (oldest first); raise TraceConfig::ring_capacity / \
+         span_capacity for full history",
+        telemetry.dropped_events, telemetry.dropped_spans
+    ))
 }
 
 #[cfg(test)]
@@ -233,6 +389,31 @@ mod tests {
             ],
             dropped_events: 0,
             series: r.into_series(),
+            ..RunTelemetry::default()
+        }
+    }
+
+    fn telemetry_with_spans() -> RunTelemetry {
+        use crate::span::{SpanId, SpanRecorder};
+        let mut rec = SpanRecorder::new(64);
+        let root = rec.open(SpanStage::FaultTotal, 1_400, SpanId::NONE, 0, 3, 42);
+        rec.complete(SpanStage::TlbL1, 1_400, 1_401, root, 0, 3, 42);
+        rec.complete(SpanStage::PageWalk, 1_411, 2_011, root, 0, 3, 42);
+        rec.close(root, 30_000);
+        rec.complete(
+            SpanStage::DriverBatch,
+            2_011,
+            30_000,
+            SpanId::NONE,
+            u16::MAX,
+            u32::MAX,
+            0,
+        );
+        let (spans, dropped_spans, _) = rec.finish();
+        RunTelemetry {
+            spans,
+            dropped_spans,
+            ..sample_telemetry()
         }
     }
 
@@ -271,6 +452,52 @@ mod tests {
         assert!(j.contains("\"ph\":\"i\""), "instants present");
         // 28_000 cycles @ 1.4 GHz = 20 µs.
         assert!(j.contains("\"dur\":20.000"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_span_trees_as_balanced_b_e() {
+        let t = telemetry_with_spans();
+        let j = chrome_trace_json(&t);
+        json::validate(&j).unwrap();
+        let pairs = span_balance(&j).expect("balanced");
+        assert_eq!(pairs, 3, "fault_total + tlb_l1 + page_walk");
+        assert!(j.contains("\"name\":\"lane3\""), "per-lane track named");
+        assert!(j.contains("\"name\":\"span.driver_batch\""));
+        // Children render between the root's B and E.
+        let root_b = j.find("\"ph\":\"B\",\"name\":\"fault_total\"").unwrap();
+        let child_b = j.find("\"ph\":\"B\",\"name\":\"page_walk\"").unwrap();
+        let root_e = j.find("\"ph\":\"E\",\"name\":\"fault_total\"").unwrap();
+        assert!(
+            root_b < child_b && child_b < root_e,
+            "children nest inside parent"
+        );
+    }
+
+    #[test]
+    fn span_balance_detects_imbalance() {
+        assert_eq!(span_balance("{\"traceEvents\":[]}").unwrap(), 0);
+        assert!(span_balance("\"ph\":\"B\" \"ph\":\"B\" \"ph\":\"E\"").is_err());
+    }
+
+    #[test]
+    fn loss_banner_only_when_lossy() {
+        let clean = sample_telemetry();
+        assert!(loss_banner(&clean).is_none());
+        let lossy = RunTelemetry {
+            dropped_spans: 7,
+            ..sample_telemetry()
+        };
+        let banner = loss_banner(&lossy).expect("lossy run warns");
+        assert!(banner.contains("7 spans"));
+        assert!(banner.contains("WARNING"));
+    }
+
+    #[test]
+    fn run_summary_counts_spans() {
+        let t = telemetry_with_spans();
+        let j = run_summary_json("completed", 30_000, &t);
+        json::validate(&j).unwrap();
+        assert!(j.contains("\"spans\":{\"recorded\":4,\"dropped\":0,\"unclosed\":0}"));
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //!   `gpu` simulator carry; a disabled tracer is a no-op that allocates
 //!   nothing and draws no state, so runs with telemetry off are
 //!   bit-identical to runs that never heard of this crate,
+//! * [`span`] — [`SpanRecorder`]: cycle-stamped span trees over the
+//!   fault lifecycle (TLB probes → walker → fault-queue wait → batch
+//!   service → replay) and the driver batch pipeline, with the same
+//!   bounded-ring and zero-cost-when-disabled guarantees as the event
+//!   ring,
+//! * [`attr`] — [`LatencyAttribution`]: spans folded into per-stage
+//!   latency quantiles, queueing-vs-service splits, and per-SM /
+//!   per-page-region fault-time totals,
 //! * [`csv`] — the one escaped, schema-checked CSV writer every
 //!   emitter routes through,
 //! * [`json`] — dependency-free JSON emission helpers and a validating
@@ -34,17 +42,21 @@
 //! simulation state and never mutates it, so enabling it cannot change
 //! a run's timing or results either — only record them.
 
+pub mod attr;
 pub mod csv;
 pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod ring;
+pub mod span;
 pub mod tracer;
 
+pub use attr::{AttributedTotal, LatencyAttribution, QueueServiceSplit, StageSummary};
 pub use csv::CsvWriter;
 pub use event::{EventRecord, InjectedFaultKind, TraceEvent};
 pub use export::TraceFormat;
 pub use metrics::{EpochRow, EpochSeries, MetricKind, MetricsRegistry};
 pub use ring::TraceRing;
+pub use span::{SpanId, SpanRecord, SpanRecorder, SpanStage};
 pub use tracer::{RunTelemetry, TraceConfig, Tracer};

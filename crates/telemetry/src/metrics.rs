@@ -237,10 +237,20 @@ impl MetricsRegistry {
     /// Consume the registry into its epoch series.
     #[must_use]
     pub fn into_series(self) -> EpochSeries {
-        EpochSeries {
-            schema: self.schema,
-            rows: self.rows,
-        }
+        self.into_parts().0
+    }
+
+    /// Consume the registry into its epoch series plus every observed
+    /// histogram (the per-stage latency distributions live here).
+    #[must_use]
+    pub fn into_parts(self) -> (EpochSeries, BTreeMap<String, Histogram>) {
+        (
+            EpochSeries {
+                schema: self.schema,
+                rows: self.rows,
+            },
+            self.hists,
+        )
     }
 }
 

@@ -5,10 +5,18 @@
 //! are built inside closures that never run. The `uvm` driver owns the
 //! run's tracer; [`Tracer::finish`] turns it into the [`RunTelemetry`]
 //! attached to `gpu::RunResult`.
+//!
+//! Besides point events and epoch metrics, the tracer records the span
+//! trees of [`crate::span`]: `span_open`/`span_close` bracket a stage
+//! whose end is not yet known, `span` records one whose endpoints are.
+//! All three are no-ops (returning [`SpanId::NONE`]) when disabled.
 
 use crate::event::{EventRecord, TraceEvent};
 use crate::metrics::{EpochSeries, MetricKind, MetricsRegistry};
 use crate::ring::TraceRing;
+use crate::span::{SpanId, SpanRecord, SpanRecorder, SpanStage};
+use sim_core::stats::Histogram;
+use std::collections::BTreeMap;
 
 /// Tracing knobs (part of `gpu::GpuConfig`; `Copy` so configs stay
 /// plain data).
@@ -19,6 +27,8 @@ pub struct TraceConfig {
     pub enabled: bool,
     /// Event ring capacity (newest events win on overflow).
     pub ring_capacity: usize,
+    /// Span ring capacity (newest closed spans win on overflow).
+    pub span_capacity: usize,
 }
 
 impl Default for TraceConfig {
@@ -26,12 +36,13 @@ impl Default for TraceConfig {
         TraceConfig {
             enabled: false,
             ring_capacity: 65_536,
+            span_capacity: 65_536,
         }
     }
 }
 
 impl TraceConfig {
-    /// Tracing on with the default ring capacity.
+    /// Tracing on with the default ring capacities.
     #[must_use]
     pub fn on() -> Self {
         TraceConfig {
@@ -45,6 +56,7 @@ impl TraceConfig {
 struct TracerInner {
     ring: TraceRing,
     registry: MetricsRegistry,
+    spans: SpanRecorder,
 }
 
 /// The recording handle. Cheap to hold, free when disabled.
@@ -70,6 +82,7 @@ impl Tracer {
             inner: Some(Box::new(TracerInner {
                 ring: TraceRing::new(cfg.ring_capacity),
                 registry: MetricsRegistry::new(),
+                spans: SpanRecorder::new(cfg.span_capacity),
             })),
         }
     }
@@ -93,9 +106,62 @@ impl Tracer {
         }
     }
 
+    /// Open a span at `start` under `parent` (pass [`SpanId::NONE`] for
+    /// a root). Returns [`SpanId::NONE`] when disabled; closing that is
+    /// a no-op, so callers need no enabled-check of their own.
+    #[inline]
+    pub fn span_open(
+        &mut self,
+        stage: SpanStage,
+        start: u64,
+        parent: SpanId,
+        sm: u16,
+        lane: u32,
+        page: u64,
+    ) -> SpanId {
+        match self.inner.as_deref_mut() {
+            Some(inner) => inner.spans.open(stage, start, parent, sm, lane, page),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Close span `id` at `end`. Returns whether a span was actually
+    /// closed (false when disabled, already closed, or `NONE`).
+    #[inline]
+    pub fn span_close(&mut self, id: SpanId, end: u64) -> bool {
+        match self.inner.as_deref_mut() {
+            Some(inner) => inner.spans.close(id, end),
+            None => false,
+        }
+    }
+
+    /// Record a complete span (both endpoints known).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        stage: SpanStage,
+        start: u64,
+        end: u64,
+        parent: SpanId,
+        sm: u16,
+        lane: u32,
+        page: u64,
+    ) -> SpanId {
+        match self.inner.as_deref_mut() {
+            Some(inner) => inner
+                .spans
+                .complete(stage, start, end, parent, sm, lane, page),
+            None => SpanId::NONE,
+        }
+    }
+
     /// Sample one epoch: set every `(name, kind, value)` into the
     /// registry (registering on first sight) and snapshot the totals at
-    /// `cycle`. Emitters must pass a stable set in a stable order.
+    /// `cycle`. Emitters must pass a stable set in a stable order. The
+    /// tracer appends its own loss accounting — `telemetry.ring.dropped`
+    /// and `telemetry.spans.dropped` — so ring overflow is visible in
+    /// the exported timeline, not just at end of run.
     pub fn sample_epoch<'a>(
         &mut self,
         cycle: u64,
@@ -105,6 +171,14 @@ impl Tracer {
             for (name, kind, value) in metrics {
                 inner.registry.set(name, kind, value);
             }
+            let ring_dropped = inner.ring.dropped();
+            let span_dropped = inner.spans.dropped();
+            inner
+                .registry
+                .set("telemetry.ring.dropped", MetricKind::Counter, ring_dropped);
+            inner
+                .registry
+                .set("telemetry.spans.dropped", MetricKind::Counter, span_dropped);
             inner.registry.snapshot_epoch(cycle);
         }
     }
@@ -116,15 +190,32 @@ impl Tracer {
     }
 
     /// Consume the tracer into the run's telemetry (`None` when it was
-    /// disabled).
+    /// disabled). Every closed span's duration is folded into a
+    /// per-stage latency histogram (`latency.<stage>`) before export;
+    /// spans still open are discarded and counted so the exported set is
+    /// always balanced.
     #[must_use]
     pub fn finish(self) -> Option<RunTelemetry> {
         self.inner.map(|inner| {
-            let dropped = inner.ring.dropped();
+            let TracerInner {
+                ring,
+                mut registry,
+                spans,
+            } = *inner;
+            let dropped = ring.dropped();
+            let (spans, dropped_spans, unclosed_spans) = spans.finish();
+            for s in &spans {
+                registry.observe(s.stage.metric(), s.duration());
+            }
+            let (series, hists) = registry.into_parts();
             RunTelemetry {
-                events: inner.ring.into_vec(),
+                events: ring.into_vec(),
                 dropped_events: dropped,
-                series: inner.registry.into_series(),
+                series,
+                spans,
+                dropped_spans,
+                unclosed_spans,
+                hists,
             }
         })
     }
@@ -139,6 +230,23 @@ pub struct RunTelemetry {
     pub dropped_events: u64,
     /// The per-epoch metric series.
     pub series: EpochSeries,
+    /// Closed spans, in close order (ring-bounded).
+    pub spans: Vec<SpanRecord>,
+    /// Closed spans dropped by the span ring.
+    pub dropped_spans: u64,
+    /// Spans still open at run end, discarded to keep the set balanced.
+    pub unclosed_spans: u64,
+    /// Observed histograms by name — per-stage span latencies
+    /// (`latency.<stage>`) plus anything the harness observed directly.
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+impl RunTelemetry {
+    /// Were any events or spans lost to ring overflow?
+    #[must_use]
+    pub fn lossy(&self) -> bool {
+        self.dropped_events > 0 || self.dropped_spans > 0
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +264,12 @@ mod tests {
         });
         assert!(!built, "payload closure must not run when disabled");
         t.sample_epoch(5, [("x", MetricKind::Counter, 1)]);
+        let s = t.span_open(SpanStage::FaultTotal, 0, SpanId::NONE, 0, 0, 0);
+        assert!(s.is_none());
+        assert!(!t.span_close(s, 10));
+        assert!(t
+            .span(SpanStage::TlbL1, 0, 1, SpanId::NONE, 0, 0, 0)
+            .is_none());
         assert!(t.registry_mut().is_none());
         assert!(t.finish().is_none());
     }
@@ -182,7 +296,45 @@ mod tests {
         assert_eq!(r.events.len(), 1);
         assert_eq!(r.series.rows.len(), 2);
         assert_eq!(r.series.final_total("d.batches"), 2);
+        assert_eq!(r.series.final_total("telemetry.ring.dropped"), 0);
+        assert_eq!(r.series.final_total("telemetry.spans.dropped"), 0);
         r.series.parity().unwrap();
+    }
+
+    #[test]
+    fn spans_fold_into_latency_histograms() {
+        let mut t = Tracer::new(TraceConfig::on());
+        let root = t.span_open(SpanStage::FaultTotal, 100, SpanId::NONE, 2, 9, 7);
+        t.span(SpanStage::PageWalk, 100, 700, root, 2, 9, 7);
+        assert!(t.span_close(root, 1100));
+        let leak = t.span_open(SpanStage::Replay, 1100, root, 2, 9, 7);
+        assert!(!leak.is_none());
+        let r = t.finish().unwrap();
+        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.unclosed_spans, 1, "open replay span discarded");
+        assert!(!r.lossy());
+        let h = r.hists.get("latency.fault_total").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(r.hists.get("latency.page_walk").unwrap().p50(), 600);
+    }
+
+    #[test]
+    fn span_ring_overflow_is_counted_and_sampled() {
+        let mut t = Tracer::new(TraceConfig {
+            enabled: true,
+            ring_capacity: 4,
+            span_capacity: 2,
+        });
+        for i in 0..5u64 {
+            t.span(SpanStage::TlbL1, i, i + 1, SpanId::NONE, 0, 0, i);
+        }
+        t.sample_epoch(100, []);
+        let r = t.finish().unwrap();
+        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.dropped_spans, 3);
+        assert!(r.lossy());
+        assert_eq!(r.series.final_total("telemetry.spans.dropped"), 3);
     }
 
     #[test]

@@ -47,7 +47,9 @@ use sim_core::error::{require_positive, ConfigError};
 use sim_core::fault::{FaultInjector, InjectionStats};
 use sim_core::time::Cycle;
 use sim_core::{FxHashSet, TouchVec};
-use telemetry::{InjectedFaultKind, MetricKind, RunTelemetry, TraceEvent, Tracer};
+use telemetry::{
+    InjectedFaultKind, MetricKind, RunTelemetry, SpanId, SpanStage, TraceEvent, Tracer,
+};
 
 /// Driver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -300,6 +302,12 @@ pub struct UvmDriver {
     /// Telemetry recorder (inert unless armed via
     /// [`UvmDriver::set_tracer`]).
     tracer: Tracer,
+    /// Span of the batch currently being serviced ([`SpanId::NONE`]
+    /// outside `service_batch` or when tracing is off).
+    batch_span: SpanId,
+    /// Latest DMA completion charged by the current batch (eviction
+    /// write-backs can land after the last migration).
+    batch_dma_end: Cycle,
     /// Driver-level counters.
     pub stats: DriverStats,
 }
@@ -356,6 +364,8 @@ impl UvmDriver {
             shed_base_evicted: 0,
             shed_base_untouch: 0,
             tracer: Tracer::disabled(),
+            batch_span: SpanId::NONE,
+            batch_dma_end: Cycle::ZERO,
             stats: DriverStats::default(),
         })
     }
@@ -414,6 +424,13 @@ impl UvmDriver {
         std::mem::take(&mut self.tracer).finish()
     }
 
+    /// Mutable access to the driver-owned tracer: the simulator records
+    /// its lane-side fault-lifecycle spans through the same recorder so
+    /// one run yields one coherent span set.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
     /// Injection-side counters (what the injector actually fired).
     #[must_use]
     pub fn injector_stats(&self) -> InjectionStats {
@@ -454,8 +471,22 @@ impl UvmDriver {
         // Evicted pages travel back over the device→host lane. We treat
         // every page as dirty: unified-memory migration moves data, and
         // the paper's thrashing metric is eviction traffic.
-        self.pcie
-            .transfer_d2h_at(u64::from(resident), self.service_start, self.service_bw);
+        let d2h_start = self.pcie.d2h_free_at().max(self.service_start);
+        let d2h_done =
+            self.pcie
+                .transfer_d2h_at(u64::from(resident), self.service_start, self.service_bw);
+        if self.tracer.enabled() && resident > 0 {
+            self.tracer.span(
+                SpanStage::EvictionDma,
+                d2h_start.0,
+                d2h_done.0,
+                self.batch_span,
+                u16::MAX,
+                u32::MAX,
+                victim.0,
+            );
+            self.batch_dma_end = self.batch_dma_end.max(d2h_done);
+        }
         let untouch = resident.saturating_sub(touch.count_touched());
         self.tracer
             .emit(self.service_start.0, || TraceEvent::Eviction {
@@ -486,6 +517,15 @@ impl UvmDriver {
         let batch_seq = self.stats.batches;
         self.stats.batches += 1;
         self.service_start = now;
+        self.batch_dma_end = now;
+        self.batch_span = self.tracer.span_open(
+            SpanStage::DriverBatch,
+            now.0,
+            SpanId::NONE,
+            u16::MAX,
+            u32::MAX,
+            batch_seq,
+        );
         let arrived = faults.len() as u32;
         // Perturbations for this batch: link bandwidth multiplier
         // (square wave of the current cycle) and queue overflow. A
@@ -577,7 +617,17 @@ impl UvmDriver {
             }
             if backoff > 0 {
                 self.stats.retry_backoff_cycles += backoff;
+                let backoff_start = host_cursor;
                 host_cursor = host_cursor.after(backoff);
+                self.tracer.span(
+                    SpanStage::RetryBackoff,
+                    backoff_start.0,
+                    host_cursor.0,
+                    self.batch_span,
+                    u16::MAX,
+                    u32::MAX,
+                    fault.0,
+                );
             }
             if abort {
                 self.stats.migrations_aborted += 1;
@@ -654,9 +704,22 @@ impl UvmDriver {
                 }
                 self.engine.note_migrated(chunk, n, demand);
             }
+            let h2d_start = self.pcie.h2d_free_at().max(now);
             let transfer_done = self
                 .pcie
                 .transfer_h2d_at(plan.len() as u64, now, self.service_bw);
+            if self.tracer.enabled() {
+                self.tracer.span(
+                    SpanStage::PcieTransfer,
+                    h2d_start.0,
+                    transfer_done.0,
+                    self.batch_span,
+                    u16::MAX,
+                    u32::MAX,
+                    fault.0,
+                );
+                self.batch_dma_end = self.batch_dma_end.max(transfer_done);
+            }
             let pages = plan.len() as u32;
             self.tracer.emit(now.0, || TraceEvent::MigrationDma {
                 page: fault.0,
@@ -685,6 +748,20 @@ impl UvmDriver {
             host_done_cycle: host_done.0,
             done_cycle: done_at.0,
         });
+        if self.tracer.enabled() {
+            self.tracer.span(
+                SpanStage::HostService,
+                now.0,
+                host_done.0,
+                self.batch_span,
+                u16::MAX,
+                u32::MAX,
+                batch_seq,
+            );
+            let batch_end = done_at.max(self.batch_dma_end);
+            self.tracer.span_close(self.batch_span, batch_end.0);
+            self.batch_span = SpanId::NONE;
+        }
         self.record_epoch(now);
 
         Ok(BatchResult {

@@ -30,7 +30,8 @@ driver.rung_recoveries,\
 inject.transfer_failures,inject.latency_spikes,inject.degraded_queries,\
 pcie.bytes_h2d,pcie.bytes_d2h,\
 mem.resident_pages,mem.free_frames,cppe.chain_len,cppe.prefetch_throttle,\
-driver.rung";
+driver.rung,\
+telemetry.ring.dropped,telemetry.spans.dropped";
 
 fn run_with(trace: TraceConfig) -> RunResult {
     let mut cfg = ExpConfig {
