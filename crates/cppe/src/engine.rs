@@ -197,6 +197,47 @@ impl PolicyEngine {
             })
     }
 
+    /// Stable name of the active eviction policy (decision provenance).
+    #[must_use]
+    pub fn evict_name(&self) -> &'static str {
+        self.evict.name()
+    }
+
+    /// Stable name of the active prefetcher (decision provenance).
+    #[must_use]
+    pub fn prefetch_name(&self) -> &'static str {
+        self.prefetch.name()
+    }
+
+    /// Which strategy branch produced the most recent prefetch plan
+    /// (decision provenance; see [`Prefetcher::plan_origin`]).
+    #[must_use]
+    pub fn plan_origin(&self) -> &'static str {
+        self.prefetch.plan_origin()
+    }
+
+    /// Non-mutating preview of the eviction policy's candidate window —
+    /// the chunks the next [`PolicyEngine::select_victim`] call will
+    /// consider, capped at `limit`. Mirrors `select_victim`'s pinned-set
+    /// relaxation: if exclusion empties the window, the pinned set is
+    /// ignored. Recorded by the decision audit layer; never called on
+    /// the hot path when auditing is off.
+    #[must_use]
+    pub fn victim_candidates(&self, exclude: &FxHashSet<ChunkId>, limit: usize) -> Vec<ChunkId> {
+        let cands = self
+            .evict
+            .candidate_set(&self.chain, self.interval, exclude, limit);
+        if cands.is_empty() && !exclude.is_empty() {
+            return self.evict.candidate_set(
+                &self.chain,
+                self.interval,
+                &FxHashSet::default(),
+                limit,
+            );
+        }
+        cands
+    }
+
     /// `chunk` was evicted; `touch` is its touch vector with bits set
     /// only for pages that were resident *and* touched (read from the
     /// page-table access bits), and `resident` the number of pages that
@@ -628,6 +669,124 @@ mod tests {
         assert!(!e.restore_policies(), "nothing left to restore");
         // The re-armed policies still work against the surviving chain.
         assert!(e.select_victim(&FxHashSet::default()).is_some());
+    }
+
+    #[test]
+    fn victim_candidates_preview_is_non_mutating_and_covers_victim() {
+        // The audit preview must not perturb selection: previewing the
+        // candidate window and then selecting must give the same victim
+        // as selecting cold, and the victim must be in the window.
+        use crate::evict::clock::ClockPolicy;
+        use crate::evict::random::RandomPolicy;
+        use crate::evict::rrip::SrripPolicy;
+        let make: Vec<Box<dyn Fn() -> Box<dyn EvictPolicy>>> = vec![
+            Box::new(|| Box::new(LruPolicy::new())),
+            Box::new(|| Box::new(RandomPolicy::new(42))),
+            Box::new(|| Box::new(ClockPolicy::new())),
+            Box::new(|| Box::new(SrripPolicy::new())),
+            Box::new(|| Box::new(MhpePolicy::new())),
+            Box::new(|| Box::new(crate::evict::hpe::HpePolicy::new())),
+            Box::new(|| Box::new(crate::evict::reserved_lru::ReservedLruPolicy::new(20))),
+        ];
+        for mk in &make {
+            let drive = |preview: bool| {
+                let mut e = PolicyEngine::new(mk(), Box::new(SequentialLocalPrefetcher::naive()));
+                for i in 0..12 {
+                    e.note_migrated(ChunkId(i), 16, true);
+                }
+                e.note_memory_full();
+                let cands = preview.then(|| e.victim_candidates(&FxHashSet::default(), 8));
+                let v = e.select_victim(&FxHashSet::default());
+                (cands, v)
+            };
+            let (_, cold) = drive(false);
+            let (cands, previewed) = drive(true);
+            let name = mk().name();
+            assert_eq!(previewed, cold, "{name}: preview changed selection");
+            let cands = cands.unwrap();
+            assert!(!cands.is_empty(), "{name}: empty candidate window");
+            assert!(cands.len() <= 8, "{name}: window over limit");
+            assert!(
+                cands.contains(&cold.unwrap()),
+                "{name}: victim {cold:?} outside window {cands:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn victim_candidates_relax_pinned_set_like_selection() {
+        let mut e = baseline();
+        for i in 0..3 {
+            e.note_migrated(ChunkId(i), 16, true);
+        }
+        e.note_memory_full();
+        let mut pin = FxHashSet::default();
+        for i in 0..3 {
+            pin.insert(ChunkId(i));
+        }
+        // Everything pinned: selection falls back to ignoring the pinned
+        // set, and the preview must report the same relaxed window.
+        let cands = e.victim_candidates(&pin, 8);
+        assert_eq!(cands.len(), 3);
+        assert_eq!(e.select_victim(&pin), Some(ChunkId(0)));
+        assert!(cands.contains(&ChunkId(0)));
+    }
+
+    #[test]
+    fn counters_stay_continuous_across_repeated_fallback_cycles() {
+        // The single-transition carry is covered above; thrash storms
+        // drive the ladder through fallback→recovery repeatedly, and the
+        // wrong-eviction count must stay monotone and exact throughout.
+        use crate::prefetch::pattern::PatternAwarePrefetcher;
+        let mut e = PolicyEngine::new(
+            Box::new(MhpePolicy::new()),
+            Box::new(PatternAwarePrefetcher::new()),
+        );
+        for i in 0..6 {
+            e.note_migrated(ChunkId(i), 16, true);
+        }
+        e.note_memory_full();
+        let mut expected = 0u64;
+        // Fresh chunk ids (100..) churned in per episode.
+        for (next, cycle) in (100u64..).zip(0..4) {
+            // One wrong eviction on whichever pair is active.
+            let victim = e.select_victim(&FxHashSet::default()).unwrap();
+            e.note_evicted(victim, TouchVec::full(), 16);
+            e.note_fault(victim.first_page());
+            e.note_migrated(victim, 16, true);
+            expected += 1;
+            assert_eq!(e.wrong_evictions(), expected, "cycle {cycle}: pre-fallback");
+
+            e.fallback_to_baseline();
+            assert_eq!(
+                e.wrong_evictions(),
+                expected,
+                "cycle {cycle}: post-fallback"
+            );
+
+            // An evict/refault episode while degraded: the plain-LRU
+            // fallback keeps no wrong-eviction buffer, so the count must
+            // hold steady — neither lost nor double-counted later.
+            let victim = e.select_victim(&FxHashSet::default()).unwrap();
+            e.note_evicted(victim, TouchVec::full(), 16);
+            e.note_fault(victim.first_page());
+            e.note_migrated(victim, 16, true);
+            assert_eq!(e.wrong_evictions(), expected, "cycle {cycle}: degraded");
+
+            assert!(e.restore_policies(), "cycle {cycle}: restore");
+            assert_eq!(e.wrong_evictions(), expected, "cycle {cycle}: post-restore");
+            assert_eq!(
+                e.name(),
+                "mhpe+pattern-aware-s2",
+                "cycle {cycle}: originals"
+            );
+
+            // Churn between cycles so state keeps evolving.
+            e.note_migrated(ChunkId(next), 16, true);
+        }
+        // Buffer high-water marks stay monotone through every swap.
+        let oh = e.overhead();
+        assert!(oh.evicted_buffer_max > 0);
     }
 
     #[test]

@@ -81,6 +81,28 @@ impl EvictPolicy for ClockPolicy {
         order.into_iter().find(|c| !exclude.contains(c))
     }
 
+    fn candidate_set(
+        &self,
+        chain: &ChunkChain,
+        _interval: u64,
+        exclude: &FxHashSet<ChunkId>,
+        limit: usize,
+    ) -> Vec<ChunkId> {
+        // The inspection window of the next sweep: chunks in circular
+        // order starting at the hand. Read-only — the preview must not
+        // advance the hand or clear reference bits.
+        let order: Vec<ChunkId> = chain.iter_lru().collect();
+        if order.is_empty() {
+            return Vec::new();
+        }
+        let n = order.len();
+        (0..n)
+            .map(|i| order[(self.hand + i) % n])
+            .filter(|c| !exclude.contains(c))
+            .take(limit)
+            .collect()
+    }
+
     fn on_evict(&mut self, chunk: ChunkId, _untouch: u32) {
         self.refs.remove(&chunk);
     }

@@ -188,6 +188,75 @@ impl EvictPolicy for HpePolicy {
         }
     }
 
+    fn candidate_set(
+        &self,
+        chain: &ChunkChain,
+        interval: u64,
+        exclude: &FxHashSet<ChunkId>,
+        limit: usize,
+    ) -> Vec<ChunkId> {
+        match self.strategy {
+            HpeStrategy::MruC => {
+                // Qualified old chunks past the start-skip window, in the
+                // MRU→LRU search order; the plain MRU-old window when no
+                // chunk qualifies (mirroring select_mru_c's fallback).
+                let mut skipped = 0usize;
+                let mut qualified = Vec::new();
+                let mut fallback = Vec::new();
+                for e in chain.iter_mru_entries() {
+                    if exclude.contains(&e.chunk) {
+                        continue;
+                    }
+                    let old = crate::chain::partition_of(e.last_ref_interval, interval)
+                        == crate::chain::Partition::Old;
+                    if !old {
+                        continue;
+                    }
+                    if skipped < self.start_skip {
+                        skipped += 1;
+                        continue;
+                    }
+                    if u64::from(e.counter) >= PAGES_PER_CHUNK {
+                        if qualified.len() < limit {
+                            qualified.push(e.chunk);
+                        }
+                    } else if fallback.len() < limit {
+                        fallback.push(e.chunk);
+                    }
+                    if qualified.len() >= limit {
+                        break;
+                    }
+                }
+                if qualified.is_empty() {
+                    fallback
+                } else {
+                    qualified
+                }
+            }
+            HpeStrategy::Lru => {
+                let win: Vec<ChunkId> = chain
+                    .iter_lru_entries()
+                    .filter(|e| {
+                        !exclude.contains(&e.chunk)
+                            && crate::chain::partition_of(e.last_ref_interval, interval)
+                                == crate::chain::Partition::Old
+                    })
+                    .map(|e| e.chunk)
+                    .take(limit)
+                    .collect();
+                if win.is_empty() {
+                    chain
+                        .iter_lru()
+                        .filter(|c| !exclude.contains(c))
+                        .take(limit)
+                        .collect()
+                } else {
+                    win
+                }
+            }
+        }
+    }
+
     fn on_evict(&mut self, chunk: ChunkId, _untouch: u32) {
         // HPE inserts wrongly evicted chunks at the *tail* (the paper
         // contrasts this with MHPE's head insertion), which is the

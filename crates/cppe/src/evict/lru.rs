@@ -36,6 +36,21 @@ impl EvictPolicy for LruPolicy {
     ) -> Option<ChunkId> {
         chain.iter_lru().find(|c| !exclude.contains(c))
     }
+
+    fn candidate_set(
+        &self,
+        chain: &ChunkChain,
+        _interval: u64,
+        exclude: &FxHashSet<ChunkId>,
+        limit: usize,
+    ) -> Vec<ChunkId> {
+        // The LRU-first prefix is exactly the window LRU draws from.
+        chain
+            .iter_lru()
+            .filter(|c| !exclude.contains(c))
+            .take(limit)
+            .collect()
+    }
 }
 
 #[cfg(test)]

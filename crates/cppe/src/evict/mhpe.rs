@@ -223,6 +223,51 @@ impl EvictPolicy for MhpePolicy {
         }
     }
 
+    fn candidate_set(
+        &self,
+        chain: &ChunkChain,
+        interval: u64,
+        exclude: &FxHashSet<ChunkId>,
+        limit: usize,
+    ) -> Vec<ChunkId> {
+        // The old-partition window the active strategy draws from: MRU
+        // order past the forward distance, or LRU order. Falls back to
+        // the whole chain when the old partition is empty (mirroring
+        // select_mru_old / select_lru_old). Read-only preview.
+        let win: Vec<ChunkId> = match self.strategy {
+            Strategy::Mru => chain
+                .iter_mru_entries()
+                .filter(|e| {
+                    !exclude.contains(&e.chunk)
+                        && crate::chain::partition_of(e.last_ref_interval, interval)
+                            == crate::chain::Partition::Old
+                })
+                .skip(self.forward_distance)
+                .map(|e| e.chunk)
+                .take(limit)
+                .collect(),
+            Strategy::Lru => chain
+                .iter_lru_entries()
+                .filter(|e| {
+                    !exclude.contains(&e.chunk)
+                        && crate::chain::partition_of(e.last_ref_interval, interval)
+                            == crate::chain::Partition::Old
+                })
+                .map(|e| e.chunk)
+                .take(limit)
+                .collect(),
+        };
+        if win.is_empty() {
+            chain
+                .iter_lru()
+                .filter(|c| !exclude.contains(c))
+                .take(limit)
+                .collect()
+        } else {
+            win
+        }
+    }
+
     fn on_evict(&mut self, chunk: ChunkId, untouch: u32) {
         self.u1 += untouch;
         if self.intervals_done < 4 {

@@ -118,6 +118,31 @@ pub trait EvictPolicy: Send {
         exclude: &FxHashSet<ChunkId>,
     ) -> Option<ChunkId>;
 
+    /// Non-mutating preview of the candidate window the next
+    /// [`EvictPolicy::select_victim`] call would draw from, in
+    /// consideration order, capped at `limit`. Consumed by the decision
+    /// audit layer for eviction provenance.
+    ///
+    /// Implementations MUST NOT mutate policy state (advance RNGs,
+    /// move clock hands, age RRPVs, pop buffers): the preview runs just
+    /// before the real selection, and auditing must never change what
+    /// gets selected. The default is the LRU-first window — correct for
+    /// plain LRU and a reasonable fallback for recency policies.
+    fn candidate_set(
+        &self,
+        chain: &ChunkChain,
+        interval: u64,
+        exclude: &FxHashSet<ChunkId>,
+        limit: usize,
+    ) -> Vec<ChunkId> {
+        let _ = interval;
+        chain
+            .iter_lru()
+            .filter(|c| !exclude.contains(c))
+            .take(limit)
+            .collect()
+    }
+
     /// `chunk` was evicted; `untouch` is its untouch level (resident
     /// pages that were never touched — read from the page-table access
     /// bits at eviction time).

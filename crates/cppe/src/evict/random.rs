@@ -45,6 +45,23 @@ impl EvictPolicy for RandomPolicy {
         let pos = self.rng.gen_range(len as u64) as usize;
         chain.nth_from_lru(pos, exclude)
     }
+
+    fn candidate_set(
+        &self,
+        chain: &ChunkChain,
+        _interval: u64,
+        exclude: &FxHashSet<ChunkId>,
+        limit: usize,
+    ) -> Vec<ChunkId> {
+        // Any non-excluded chunk is equally likely; report the window in
+        // LRU order. Must not touch the RNG — the preview would shift
+        // the subsequent real draw.
+        chain
+            .iter_lru()
+            .filter(|c| !exclude.contains(c))
+            .take(limit)
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,28 @@ impl EvictPolicy for ReservedLruPolicy {
         let skip = self.reserved_count(chain.len()).min(chain.len() - 1);
         chain.nth_from_lru(skip, exclude)
     }
+
+    fn candidate_set(
+        &self,
+        chain: &ChunkChain,
+        _interval: u64,
+        exclude: &FxHashSet<ChunkId>,
+        limit: usize,
+    ) -> Vec<ChunkId> {
+        // Everything past the reserved LRU-most region, in LRU order —
+        // the same counting nth_from_lru uses (reserved slots are counted
+        // over non-excluded chunks).
+        if chain.is_empty() {
+            return Vec::new();
+        }
+        let skip = self.reserved_count(chain.len()).min(chain.len() - 1);
+        chain
+            .iter_lru()
+            .filter(|c| !exclude.contains(c))
+            .skip(skip)
+            .take(limit)
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,31 @@ impl EvictPolicy for SrripPolicy {
         }
     }
 
+    fn candidate_set(
+        &self,
+        chain: &ChunkChain,
+        _interval: u64,
+        exclude: &FxHashSet<ChunkId>,
+        limit: usize,
+    ) -> Vec<ChunkId> {
+        // The chunks at the currently highest RRPV — the set the next
+        // selection resolves to after its (state-mutating) aging rounds,
+        // computed here without aging anything.
+        let candidates: Vec<ChunkId> = chain.iter_lru().filter(|c| !exclude.contains(c)).collect();
+        let Some(worst) = candidates
+            .iter()
+            .map(|c| self.rrpv.get(c).copied().unwrap_or(MAX_RRPV))
+            .max()
+        else {
+            return Vec::new();
+        };
+        candidates
+            .into_iter()
+            .filter(|c| self.rrpv.get(c).copied().unwrap_or(MAX_RRPV) == worst)
+            .take(limit)
+            .collect()
+    }
+
     fn on_evict(&mut self, chunk: ChunkId, _untouch: u32) {
         self.rrpv.remove(&chunk);
     }

@@ -37,6 +37,16 @@ pub trait Prefetcher: Send {
     /// non-resident pages.
     fn plan(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>) -> Vec<VirtPage>;
 
+    /// Which strategy branch produced the most recent
+    /// [`Prefetcher::plan`] — a stable label the decision audit layer
+    /// records as prefetch provenance (e.g. `whole-chunk`,
+    /// `pattern-hit`, `fault-only-on-full`). Implementations update the
+    /// label unconditionally inside `plan` (a plain store; it never
+    /// affects the plan itself).
+    fn plan_origin(&self) -> &'static str {
+        "fault-only"
+    }
+
     /// A chunk was evicted with the given touch pattern (pattern-aware
     /// prefetching records patterns here).
     fn on_evict(&mut self, chunk: ChunkId, touch: TouchVec) {

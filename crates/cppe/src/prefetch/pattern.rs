@@ -164,6 +164,7 @@ impl PatternBuffer {
 pub struct PatternAwarePrefetcher {
     buffer: PatternBuffer,
     scheme: DeletionScheme,
+    last_origin: &'static str,
 }
 
 impl PatternAwarePrefetcher {
@@ -179,6 +180,7 @@ impl PatternAwarePrefetcher {
         PatternAwarePrefetcher {
             buffer: PatternBuffer::new(),
             scheme,
+            last_origin: "whole-chunk-miss",
         }
     }
 
@@ -215,6 +217,7 @@ impl Prefetcher for PatternAwarePrefetcher {
         let chunk = fault.chunk();
         match self.buffer.probe(fault, self.scheme) {
             ProbeResult::Match(pattern) => {
+                self.last_origin = "pattern-hit";
                 let mut pages = Self::pattern_pages(chunk, pattern, ctx.page_table);
                 // The faulted page always migrates; it matches the
                 // pattern here, so it is already in `pages` unless it
@@ -226,10 +229,19 @@ impl Prefetcher for PatternAwarePrefetcher {
                 }
                 pages
             }
-            ProbeResult::Miss | ProbeResult::Mismatch { .. } => {
+            ProbeResult::Miss => {
+                self.last_origin = "whole-chunk-miss";
+                non_resident_pages(chunk, ctx.page_table)
+            }
+            ProbeResult::Mismatch { .. } => {
+                self.last_origin = "whole-chunk-mismatch";
                 non_resident_pages(chunk, ctx.page_table)
             }
         }
+    }
+
+    fn plan_origin(&self) -> &'static str {
+        self.last_origin
     }
 
     fn on_evict(&mut self, chunk: ChunkId, touch: TouchVec) {

@@ -20,6 +20,7 @@ use gmmu::types::VirtPage;
 #[derive(Debug)]
 pub struct SequentialLocalPrefetcher {
     disable_when_full: bool,
+    last_origin: &'static str,
 }
 
 impl SequentialLocalPrefetcher {
@@ -28,6 +29,7 @@ impl SequentialLocalPrefetcher {
     pub fn naive() -> Self {
         SequentialLocalPrefetcher {
             disable_when_full: false,
+            last_origin: "whole-chunk",
         }
     }
 
@@ -36,6 +38,7 @@ impl SequentialLocalPrefetcher {
     pub fn disable_on_full() -> Self {
         SequentialLocalPrefetcher {
             disable_when_full: true,
+            last_origin: "whole-chunk",
         }
     }
 }
@@ -51,9 +54,15 @@ impl Prefetcher for SequentialLocalPrefetcher {
 
     fn plan(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>) -> Vec<VirtPage> {
         if self.disable_when_full && ctx.memory_full {
+            self.last_origin = "fault-only-on-full";
             return vec![fault];
         }
+        self.last_origin = "whole-chunk";
         non_resident_pages(fault.chunk(), ctx.page_table)
+    }
+
+    fn plan_origin(&self) -> &'static str {
+        self.last_origin
     }
 }
 

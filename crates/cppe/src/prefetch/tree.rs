@@ -66,6 +66,12 @@ impl Prefetcher for TreeNeighborhoodPrefetcher {
         plan.sort_unstable_by_key(|p| p.0);
         plan
     }
+
+    fn plan_origin(&self) -> &'static str {
+        // Every plan is the faulted block plus whatever tree nodes the
+        // populated-fraction walk pulled in — a single strategy branch.
+        "tree-neighborhood"
+    }
 }
 
 #[cfg(test)]

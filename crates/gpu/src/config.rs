@@ -56,7 +56,10 @@ pub struct GpuConfig {
     pub resilience: ResilienceConfig,
     /// Telemetry: typed event tracing plus a per-batch metrics epoch
     /// sampler. Off by default — a disabled tracer records nothing,
-    /// allocates nothing and leaves runs bit-identical.
+    /// allocates nothing and leaves runs bit-identical. Setting
+    /// `trace.audit` additionally records policy decision provenance
+    /// (eviction candidate windows, prefetch plan origins) for the
+    /// audit experiment's ledger and oracle comparator.
     pub trace: TraceConfig,
 }
 
@@ -115,6 +118,7 @@ mod tests {
         assert!(!c.injection.any_enabled());
         assert!(!c.resilience.degraded_mode);
         assert!(!c.trace.enabled);
+        assert!(!c.trace.audit, "decision auditing is opt-in");
         assert!(c.validate().is_ok());
     }
 

@@ -3,10 +3,10 @@
 //! well-formed JSON, through the same `telemetry` parsers the golden
 //! tests use. Chrome traces (`*trace.json`) additionally get their
 //! `ph:"B"`/`ph:"E"` span events balance-checked, and
-//! `BENCH_profile.json` must carry the expected schema marker with at
-//! least one profiled workload. CI runs this after the traced
-//! smoke/timeline/profile runs; exits non-zero on the first malformed
-//! artifact.
+//! `BENCH_profile.json` / `BENCH_audit.json` must carry their expected
+//! schema markers with at least one profiled/audited workload. CI runs
+//! this after the traced smoke/timeline/profile/audit runs; exits
+//! non-zero on the first malformed artifact.
 //!
 //! Usage: `validate-trace [DIR]` (default `results`).
 
@@ -35,6 +35,25 @@ fn validate_json_artifact(name: &str, body: &str) -> Result<String, String> {
             return Err("no profiled workload with stage quantiles".into());
         }
         return Ok("profile schema ok".to_string());
+    }
+    if name == "BENCH_audit.json" {
+        let marker = format!(
+            "\"schema\":{}",
+            telemetry::json::string(harness::experiments::audit::SCHEMA)
+        );
+        if !body.starts_with('{') || !body.contains(&marker) {
+            return Err(format!(
+                "missing schema marker {:?}",
+                harness::experiments::audit::SCHEMA
+            ));
+        }
+        if !body.contains("\"app\":")
+            || !body.contains("\"regret\":")
+            || !body.contains("\"avoidable_chunk_migrations\":")
+        {
+            return Err("no audited workload with oracle regret".into());
+        }
+        return Ok("audit schema ok".to_string());
     }
     Ok("ok".to_string())
 }

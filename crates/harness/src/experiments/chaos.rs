@@ -139,18 +139,25 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
 
     // Degradation-ladder demonstration: MVT's baseline run dies of
     // thrash (Fig. 4); in degraded mode the ladder sheds prefetch and
-    // the run finishes.
+    // the run finishes. The ladder runs audit decisions when traced
+    // (audit is inert while tracing is off), so every shed-mode call
+    // carries its rung and fallback-policy provenance.
+    let lcfg = {
+        let mut c = *cfg;
+        c.gpu.trace.audit = true;
+        c
+    };
     let plain = run_injected(
         "MVT",
         PolicyPreset::Baseline,
-        cfg,
+        &lcfg,
         InjectionConfig::disabled(),
         ResilienceConfig::default(),
     );
     let laddered = run_injected(
         "MVT",
         PolicyPreset::Baseline,
-        cfg,
+        &lcfg,
         InjectionConfig::disabled(),
         ResilienceConfig::degraded(),
     );
@@ -160,7 +167,7 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
     let recovered = run_injected(
         "MVT",
         PolicyPreset::Baseline,
-        cfg,
+        &lcfg,
         InjectionConfig::disabled(),
         ResilienceConfig::degraded_with_recovery(64),
     );
@@ -183,13 +190,59 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
 
     // When traced, the ladder demo is the interesting run to look at in
     // Perfetto: rung transitions sit on the "ladder" track. A lossy
-    // trace is flagged so a truncated artifact never reads as complete.
+    // trace is flagged so a truncated artifact never reads as complete,
+    // and the audited decisions become a provenance-by-rung section:
+    // which policy (including the thrash fallback) made each call at
+    // which ladder rung, plus the run's regret against the Belady
+    // oracle.
     let mut banner = String::new();
     if cfg.gpu.trace.enabled {
         if let Some(t) = &recovered.telemetry {
-            if let Some(b) = telemetry::export::loss_banner(t) {
-                banner = format!("\n{b}\n");
+            let loss = crate::report::loss_section(t);
+            if !loss.is_empty() {
+                banner = format!("\n{loss}");
             }
+            let mut counts: std::collections::BTreeMap<(&'static str, &'static str, u32), u64> =
+                std::collections::BTreeMap::new();
+            for rec in &t.decisions {
+                *counts
+                    .entry((rec.event.kind.name(), rec.event.policy, rec.event.rung))
+                    .or_insert(0) += 1;
+            }
+            let mut prov = Table::new(&["kind", "policy", "rung", "count"]);
+            for ((kind, policy, rung), count) in counts {
+                prov.row(vec![
+                    kind.to_string(),
+                    policy.to_string(),
+                    rung.to_string(),
+                    count.to_string(),
+                ]);
+            }
+            let spec = registry::by_abbr("MVT").expect("known app");
+            let lanes = cfg.gpu.lanes();
+            let streams: Vec<_> = (0..lanes)
+                .map(|l| spec.lane_items(l, lanes, cfg.scale))
+                .collect();
+            let capacity = capacity_pages(&spec, 0.5, cfg.scale);
+            let ledger = telemetry::PageLedger::from_telemetry(t, gmmu::types::PAGES_PER_CHUNK);
+            let accesses = crate::opt::linearize(&streams);
+            let oracle = crate::oracle::OracleReport::compare(
+                t,
+                &ledger,
+                &accesses,
+                (u64::from(capacity) / gmmu::types::PAGES_PER_CHUNK) as usize,
+            );
+            banner.push_str(&format!(
+                "\nDecision provenance across the ladder (recovered run),\n\
+                 by policy and rung:\n\n{}\n\
+                 Oracle regret: {} of {} chunk migrations avoidable;\n\
+                 eviction regret p50/p95 = {}/{} linearized accesses\n",
+                prov.render(),
+                oracle.avoidable_chunk_migrations(),
+                oracle.actual_chunk_migrations,
+                oracle.regret.quantile(0.5),
+                oracle.regret.quantile(0.95),
+            ));
             if cfg.trace_format.wants_chrome() {
                 let _ = save(
                     "chaos_mvt_ladder_trace.json",
@@ -263,6 +316,31 @@ mod tests {
         );
         assert_eq!(injected.cycles, plain.cycles);
         assert_eq!(injected.engine.pages_migrated, plain.engine.pages_migrated);
+    }
+
+    #[test]
+    fn audited_ladder_run_records_rung_provenance() {
+        // The degraded MVT run sheds rungs; with auditing on, the
+        // decisions it records must carry those raised rungs so the
+        // provenance-by-rung section has rows beyond rung 0.
+        let mut cfg = ExpConfig {
+            scale: 0.25,
+            ..ExpConfig::quick()
+        };
+        cfg.gpu.trace = telemetry::TraceConfig::audited();
+        let r = run_injected(
+            "MVT",
+            PolicyPreset::Baseline,
+            &cfg,
+            InjectionConfig::disabled(),
+            ResilienceConfig::degraded(),
+        );
+        let t = r.telemetry.as_ref().expect("traced");
+        assert!(!t.decisions.is_empty());
+        assert!(
+            t.decisions.iter().any(|d| d.event.rung > 0),
+            "shed-mode decisions carry their ladder rung"
+        );
     }
 
     #[test]

@@ -25,8 +25,10 @@
 //! | [`stability`] | extension: jitter-seed robustness of Fig. 8 |
 //! | [`chaos`] | extension: slowdown under deterministic fault injection |
 //! | [`profile`] | extension: fault-lifecycle latency profile (BENCH_profile.json) |
+//! | [`audit`] | extension: decision provenance, page-lifetime ledger and Belady regret (BENCH_audit.json) |
 
 pub mod ablation;
+pub mod audit;
 pub mod bound;
 pub mod chaos;
 pub mod fig10;

@@ -15,7 +15,7 @@ use crate::runner::{capacity_pages, ExpConfig};
 use cppe::presets::PolicyPreset;
 use gpu::{simulate, RunResult};
 use std::fmt::Write as _;
-use telemetry::{export, json, LatencyAttribution};
+use telemetry::{json, LatencyAttribution};
 use workloads::registry;
 
 /// Pattern-diverse subset (regular / irregular / mixed), matching the
@@ -255,8 +255,9 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
             t.spans.len(),
             t.unclosed_spans,
         );
-        if let Some(banner) = export::loss_banner(t) {
-            let _ = writeln!(out, "{banner}\n");
+        let loss = crate::report::loss_section(t);
+        if !loss.is_empty() {
+            let _ = writeln!(out, "{loss}");
         }
         out.push_str(&stage_table(&p.attribution).render());
         for sp in &p.attribution.splits {

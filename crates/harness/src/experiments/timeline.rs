@@ -1,28 +1,34 @@
 //! Extension: thrash dynamics over time.
 //!
 //! Runs one workload under the baseline and under CPPE with the
-//! telemetry tracer on, then exports the per-epoch metric series — the
-//! time-resolved view of what Fig. 8 summarizes in one number. The
-//! report shows a decile summary plus the driver resilience counters;
-//! the full wide per-batch series is saved as CSV under `results/`
-//! (plus JSON summary / Chrome trace when `--trace-format` asks).
+//! telemetry tracer on (decision auditing included), then exports the
+//! per-epoch metric series — the time-resolved view of what Fig. 8
+//! summarizes in one number. The report shows a decile summary, the
+//! driver resilience counters, the stage-latency tables and the CPPE
+//! run's decision provenance with its Belady-oracle regret; the full
+//! wide per-batch series is saved as CSV under `results/` (plus JSON
+//! summary / Chrome trace when `--trace-format` asks).
 
-use crate::report::{save, Table};
+use crate::report::{loss_section, save, Table};
 use crate::runner::{capacity_pages, ExpConfig};
 use cppe::presets::PolicyPreset;
+use gmmu::types::PAGES_PER_CHUNK;
 use gpu::{simulate, RunResult};
+use std::fmt::Write as _;
 use telemetry::export;
 use workloads::registry;
 
 /// Default workload for the timeline (a Type IV thrasher).
 pub const DEFAULT_APP: &str = "HSD";
 
-/// Run one telemetry-instrumented cell (tracer forced on).
+/// Run one telemetry-instrumented cell (tracer forced on, with
+/// decision auditing so the provenance/regret section has a stream to
+/// replay).
 #[must_use]
 pub fn run_instrumented(cfg: &ExpConfig, abbr: &str, preset: PolicyPreset) -> RunResult {
     let spec = registry::by_abbr(abbr).expect("known app");
     let gpu = gpu::GpuConfig {
-        trace: telemetry::TraceConfig::on(),
+        trace: telemetry::TraceConfig::audited(),
         ..cfg.gpu
     };
     let lanes = gpu.lanes();
@@ -110,14 +116,63 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
     let mut stages = String::new();
     for (label, r) in [("baseline", &base), ("cppe", &cppe)] {
         let t = r.telemetry.as_ref().expect("timeline runs are traced");
-        if let Some(banner) = export::loss_banner(t) {
-            stages.push_str(&banner);
-            stages.push('\n');
-        }
+        stages.push_str(&loss_section(t));
         let attr = telemetry::LatencyAttribution::from_spans(&t.spans);
         stages.push_str(&format!("{label}:\n"));
         stages.push_str(&crate::experiments::profile::stage_table(&attr).render());
         stages.push('\n');
+    }
+
+    // Decision provenance for the CPPE run, and its eviction regret
+    // against the Belady oracle over the linearized access stream —
+    // the audit layer's time-resolved counterpart to the `audit`
+    // experiment's committed baseline.
+    let mut audit_sec = String::new();
+    {
+        let t = cppe.telemetry.as_ref().expect("timeline runs are traced");
+        audit_sec.push_str(&loss_section(t));
+        let mut prov = Table::new(&["kind", "policy", "origin", "count"]);
+        for ((kind, policy, origin), count) in
+            crate::experiments::audit::provenance_counts(&t.decisions)
+        {
+            prov.row(vec![
+                kind.to_string(),
+                policy.to_string(),
+                origin.to_string(),
+                count.to_string(),
+            ]);
+        }
+        audit_sec.push_str(&prov.render());
+        let spec = registry::by_abbr(app).expect("known app");
+        let lanes = cfg.gpu.lanes();
+        let streams: Vec<_> = (0..lanes)
+            .map(|l| spec.lane_items(l, lanes, cfg.scale))
+            .collect();
+        let capacity = capacity_pages(&spec, 0.5, cfg.scale);
+        let ledger = telemetry::PageLedger::from_telemetry(t, PAGES_PER_CHUNK);
+        let accesses = crate::opt::linearize(&streams);
+        let oracle = crate::oracle::OracleReport::compare(
+            t,
+            &ledger,
+            &accesses,
+            (u64::from(capacity) / PAGES_PER_CHUNK) as usize,
+        );
+        let _ = write!(
+            audit_sec,
+            "\nOracle regret (cppe): {} of {} chunk migrations avoidable;\n\
+             eviction regret p50/p95/max = {}/{}/{} linearized accesses\n\
+             ({} of {} decisions matched Belady); {:.1}% of migrated pages\n\
+             evicted untouched ({} wasted bytes)\n",
+            oracle.avoidable_chunk_migrations(),
+            oracle.actual_chunk_migrations,
+            oracle.regret.quantile(0.5),
+            oracle.regret.quantile(0.95),
+            oracle.regret.max(),
+            oracle.regret.zero_regret(),
+            oracle.regret.count(),
+            oracle.prefetch.wasted_fraction() * 100.0,
+            oracle.prefetch.wasted_bytes(),
+        );
     }
 
     format!(
@@ -128,11 +183,13 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
          thrash rate; CPPE's curve flattens once the chain classification\n\
          settles (MRU retention) and the pattern buffer warms up.\n\n\
          Driver resilience totals (end of run):\n\n{}\n\
-         Fault-lifecycle stage latencies (cycles):\n\n{}",
+         Fault-lifecycle stage latencies (cycles):\n\n{}\n\
+         Decision provenance (cppe run):\n\n{}",
         cfg.scale,
         table.render(),
         drv.render(),
-        stages
+        stages,
+        audit_sec
     )
 }
 
@@ -160,5 +217,16 @@ mod tests {
         assert!(report.contains("driver.rung_recoveries"));
         assert!(report.contains("Fault-lifecycle stage latencies"));
         assert!(report.contains("fault_total"));
+        assert!(report.contains("Decision provenance"));
+        assert!(report.contains("Oracle regret"));
+        assert!(report.contains("avoidable"));
+    }
+
+    #[test]
+    fn instrumented_runs_record_decisions() {
+        let cfg = ExpConfig::quick();
+        let r = run_instrumented(&cfg, "STN", PolicyPreset::Cppe);
+        let t = r.telemetry.as_ref().expect("traced");
+        assert!(!t.decisions.is_empty(), "auditing is on for timelines");
     }
 }

@@ -8,10 +8,12 @@
 //! * [`sweep`] — the parallel sweep executor,
 //! * [`report`] — text/CSV table rendering,
 //! * [`opt`] — the offline Belady chunk-fault bound,
+//! * [`oracle`] — the decision-audit comparator against that bound,
 //! * [`experiments`] — one module per paper artifact.
 
 pub mod experiments;
 pub mod opt;
+pub mod oracle;
 pub mod report;
 pub mod runner;
 pub mod sweep;

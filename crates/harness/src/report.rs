@@ -101,6 +101,15 @@ pub fn fmt_speedup(s: Option<f64>) -> String {
     }
 }
 
+/// Shared ring-drop warning section: the telemetry loss banner followed
+/// by a newline, or the empty string for a lossless trace. Every report
+/// renderer (timeline, chaos, profile, audit) goes through this one
+/// helper so a truncated artifact is flagged identically everywhere.
+#[must_use]
+pub fn loss_section(t: &telemetry::RunTelemetry) -> String {
+    telemetry::export::loss_banner(t).map_or_else(String::new, |b| format!("{b}\n"))
+}
+
 /// Write `content` under `results/<name>` (best-effort; the text is
 /// always also printed by the binaries).
 pub fn save(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
@@ -148,5 +157,18 @@ mod tests {
     fn speedup_formatting() {
         assert_eq!(fmt_speedup(Some(1.564)), "1.56");
         assert_eq!(fmt_speedup(None), "X");
+    }
+
+    #[test]
+    fn loss_section_empty_for_lossless_and_flags_drops() {
+        let clean = telemetry::RunTelemetry::default();
+        assert_eq!(loss_section(&clean), "");
+        let lossy = telemetry::RunTelemetry {
+            dropped_events: 3,
+            ..telemetry::RunTelemetry::default()
+        };
+        let s = loss_section(&lossy);
+        assert!(s.starts_with("WARNING"));
+        assert!(s.ends_with('\n'));
     }
 }

@@ -93,14 +93,18 @@ impl Histogram {
     }
 
     /// Nearest-rank quantile: the smallest recorded value whose
-    /// cumulative count reaches `⌈q·count⌉`. `q` is clamped to `[0, 1]`;
-    /// an empty histogram reports 0, `q = 1` reports the maximum.
+    /// cumulative count reaches `⌈q·count⌉`.
+    ///
+    /// Edge cases are explicit: an empty histogram reports 0 for every
+    /// `q`; a single-sample histogram reports that sample for every `q`;
+    /// `q` is clamped to `[0, 1]` (so `q = 1` is the maximum and `q ≤ 0`
+    /// the minimum); a NaN `q` is treated as 0 and reports the minimum.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut cum = 0u64;
@@ -247,6 +251,28 @@ mod tests {
         assert_eq!(h.p95(), 42);
         assert_eq!(h.p99(), 42);
         assert_eq!(h.quantile(1.0), 42);
+    }
+
+    #[test]
+    fn quantiles_single_sample_report_that_sample() {
+        // One observation: every quantile is that sample — the rank
+        // floor of 1 must not index past it and q=0 must not miss it.
+        let mut h = Histogram::new();
+        h.record(7);
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7, "q = {q}");
+        }
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p99(), 7);
+    }
+
+    #[test]
+    fn quantile_nan_q_reports_minimum() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(7);
+        assert_eq!(h.quantile(f64::NAN), 3);
+        assert_eq!(Histogram::new().quantile(f64::NAN), 0);
     }
 
     #[test]

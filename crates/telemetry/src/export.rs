@@ -110,6 +110,16 @@ pub fn run_summary_json(outcome: &str, cycles: u64, telemetry: &RunTelemetry) ->
         telemetry.dropped_spans,
         telemetry.unclosed_spans
     );
+    // Decision accounting appears only for audited runs, so summaries
+    // of non-audited runs stay byte-identical to earlier versions.
+    if !telemetry.decisions.is_empty() || telemetry.dropped_decisions > 0 {
+        let _ = write!(
+            s,
+            "\"decisions\":{{\"recorded\":{},\"dropped\":{}}},",
+            telemetry.decisions.len(),
+            telemetry.dropped_decisions
+        );
+    }
     s.push_str("\"metrics\":{");
     for (i, (name, kind)) in telemetry.series.schema.iter().enumerate() {
         if i > 0 {
@@ -339,12 +349,20 @@ pub fn loss_banner(telemetry: &RunTelemetry) -> Option<String> {
     if !telemetry.lossy() {
         return None;
     }
-    Some(format!(
+    let mut banner = format!(
         "WARNING: telemetry rings overflowed — {} events and {} spans \
          dropped (oldest first); raise TraceConfig::ring_capacity / \
          span_capacity for full history",
         telemetry.dropped_events, telemetry.dropped_spans
-    ))
+    );
+    if telemetry.dropped_decisions > 0 {
+        let _ = write!(
+            banner,
+            " ({} audited decisions also dropped; raise decision_capacity)",
+            telemetry.dropped_decisions
+        );
+    }
+    Some(banner)
 }
 
 #[cfg(test)]
@@ -490,6 +508,36 @@ mod tests {
         let banner = loss_banner(&lossy).expect("lossy run warns");
         assert!(banner.contains("7 spans"));
         assert!(banner.contains("WARNING"));
+    }
+
+    #[test]
+    fn run_summary_mentions_decisions_only_when_audited() {
+        let clean = sample_telemetry();
+        let j = run_summary_json("completed", 70_000, &clean);
+        assert!(
+            !j.contains("\"decisions\""),
+            "non-audited summaries keep their exact shape"
+        );
+        let audited = RunTelemetry {
+            decisions: vec![crate::decision::DecisionRecord {
+                cycle: 9,
+                event: crate::decision::DecisionEvent {
+                    kind: crate::decision::DecisionKind::Prefetch,
+                    policy: "seq-local",
+                    origin: "whole-chunk",
+                    rung: 0,
+                    chosen: 3,
+                    pages: vec![0, 1],
+                },
+            }],
+            dropped_decisions: 2,
+            ..sample_telemetry()
+        };
+        let j = run_summary_json("completed", 70_000, &audited);
+        json::validate(&j).unwrap();
+        assert!(j.contains("\"decisions\":{\"recorded\":1,\"dropped\":2}"));
+        let banner = loss_banner(&audited).expect("dropped decisions are loss");
+        assert!(banner.contains("2 audited decisions"));
     }
 
     #[test]

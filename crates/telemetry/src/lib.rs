@@ -44,9 +44,11 @@
 
 pub mod attr;
 pub mod csv;
+pub mod decision;
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod ring;
 pub mod span;
@@ -54,8 +56,10 @@ pub mod tracer;
 
 pub use attr::{AttributedTotal, LatencyAttribution, QueueServiceSplit, StageSummary};
 pub use csv::CsvWriter;
+pub use decision::{DecisionEvent, DecisionKind, DecisionRecord, DecisionRing};
 pub use event::{EventRecord, InjectedFaultKind, TraceEvent};
 pub use export::TraceFormat;
+pub use ledger::{PageLedger, PageLife};
 pub use metrics::{EpochRow, EpochSeries, MetricKind, MetricsRegistry};
 pub use ring::TraceRing;
 pub use span::{SpanId, SpanRecord, SpanRecorder, SpanStage};

@@ -11,6 +11,7 @@
 //! whose end is not yet known, `span` records one whose endpoints are.
 //! All three are no-ops (returning [`SpanId::NONE`]) when disabled.
 
+use crate::decision::{DecisionEvent, DecisionRecord, DecisionRing};
 use crate::event::{EventRecord, TraceEvent};
 use crate::metrics::{EpochSeries, MetricKind, MetricsRegistry};
 use crate::ring::TraceRing;
@@ -29,6 +30,14 @@ pub struct TraceConfig {
     pub ring_capacity: usize,
     /// Span ring capacity (newest closed spans win on overflow).
     pub span_capacity: usize,
+    /// Record policy-decision provenance ([`DecisionEvent`]s). Off by
+    /// default — decisions carry owned candidate/plan sets, so auditing
+    /// is opt-in on top of `enabled` (it has no effect when `enabled`
+    /// is false) and leaves every existing export bit-identical when
+    /// off.
+    pub audit: bool,
+    /// Decision ring capacity (newest decisions win on overflow).
+    pub decision_capacity: usize,
 }
 
 impl Default for TraceConfig {
@@ -37,6 +46,8 @@ impl Default for TraceConfig {
             enabled: false,
             ring_capacity: 65_536,
             span_capacity: 65_536,
+            audit: false,
+            decision_capacity: 65_536,
         }
     }
 }
@@ -50,6 +61,16 @@ impl TraceConfig {
             ..TraceConfig::default()
         }
     }
+
+    /// Tracing *and* decision auditing on with the default capacities.
+    #[must_use]
+    pub fn audited() -> Self {
+        TraceConfig {
+            enabled: true,
+            audit: true,
+            ..TraceConfig::default()
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -57,6 +78,8 @@ struct TracerInner {
     ring: TraceRing,
     registry: MetricsRegistry,
     spans: SpanRecorder,
+    /// Present only when `TraceConfig::audit` was set.
+    decisions: Option<DecisionRing>,
 }
 
 /// The recording handle. Cheap to hold, free when disabled.
@@ -83,6 +106,7 @@ impl Tracer {
                 ring: TraceRing::new(cfg.ring_capacity),
                 registry: MetricsRegistry::new(),
                 spans: SpanRecorder::new(cfg.span_capacity),
+                decisions: cfg.audit.then(|| DecisionRing::new(cfg.decision_capacity)),
             })),
         }
     }
@@ -94,12 +118,33 @@ impl Tracer {
         self.inner.is_some()
     }
 
+    /// Is decision auditing recording? (Implies [`Tracer::enabled`].)
+    #[inline]
+    #[must_use]
+    pub fn audit_enabled(&self) -> bool {
+        self.inner.as_deref().is_some_and(|i| i.decisions.is_some())
+    }
+
     /// Record an event at `cycle`. The payload closure only runs when
     /// tracing is on.
     #[inline]
     pub fn emit(&mut self, cycle: u64, event: impl FnOnce() -> TraceEvent) {
         if let Some(inner) = self.inner.as_deref_mut() {
             inner.ring.push(EventRecord {
+                cycle,
+                event: event(),
+            });
+        }
+    }
+
+    /// Record a policy decision at `cycle`. The payload closure only
+    /// runs when auditing is on, so candidate/plan sets are never built
+    /// otherwise; callers that need to gather the set *before* a
+    /// mutating selection call should gate on [`Tracer::audit_enabled`].
+    #[inline]
+    pub fn decision(&mut self, cycle: u64, event: impl FnOnce() -> DecisionEvent) {
+        if let Some(ring) = self.inner.as_deref_mut().and_then(|i| i.decisions.as_mut()) {
+            ring.push(DecisionRecord {
                 cycle,
                 event: event(),
             });
@@ -179,6 +224,15 @@ impl Tracer {
             inner
                 .registry
                 .set("telemetry.spans.dropped", MetricKind::Counter, span_dropped);
+            // Only audited runs grow the schema — timeline CSVs of
+            // non-audited runs keep their exact column set.
+            if let Some(decisions) = inner.decisions.as_ref() {
+                inner.registry.set(
+                    "telemetry.decisions.dropped",
+                    MetricKind::Counter,
+                    decisions.dropped(),
+                );
+            }
             inner.registry.snapshot_epoch(cycle);
         }
     }
@@ -201,12 +255,20 @@ impl Tracer {
                 ring,
                 mut registry,
                 spans,
+                decisions,
             } = *inner;
             let dropped = ring.dropped();
             let (spans, dropped_spans, unclosed_spans) = spans.finish();
             for s in &spans {
                 registry.observe(s.stage.metric(), s.duration());
             }
+            let (decisions, dropped_decisions) = match decisions {
+                Some(ring) => {
+                    let dropped = ring.dropped();
+                    (ring.into_vec(), dropped)
+                }
+                None => (Vec::new(), 0),
+            };
             let (series, hists) = registry.into_parts();
             RunTelemetry {
                 events: ring.into_vec(),
@@ -215,6 +277,8 @@ impl Tracer {
                 spans,
                 dropped_spans,
                 unclosed_spans,
+                decisions,
+                dropped_decisions,
                 hists,
             }
         })
@@ -236,16 +300,21 @@ pub struct RunTelemetry {
     pub dropped_spans: u64,
     /// Spans still open at run end, discarded to keep the set balanced.
     pub unclosed_spans: u64,
+    /// Audited policy decisions, oldest first (ring-bounded; empty when
+    /// auditing was off).
+    pub decisions: Vec<DecisionRecord>,
+    /// Decisions dropped by the decision ring.
+    pub dropped_decisions: u64,
     /// Observed histograms by name — per-stage span latencies
     /// (`latency.<stage>`) plus anything the harness observed directly.
     pub hists: BTreeMap<String, Histogram>,
 }
 
 impl RunTelemetry {
-    /// Were any events or spans lost to ring overflow?
+    /// Were any events, spans or decisions lost to ring overflow?
     #[must_use]
     pub fn lossy(&self) -> bool {
-        self.dropped_events > 0 || self.dropped_spans > 0
+        self.dropped_events > 0 || self.dropped_spans > 0 || self.dropped_decisions > 0
     }
 }
 
@@ -322,9 +391,9 @@ mod tests {
     #[test]
     fn span_ring_overflow_is_counted_and_sampled() {
         let mut t = Tracer::new(TraceConfig {
-            enabled: true,
             ring_capacity: 4,
             span_capacity: 2,
+            ..TraceConfig::on()
         });
         for i in 0..5u64 {
             t.span(SpanStage::TlbL1, i, i + 1, SpanId::NONE, 0, 0, i);
@@ -342,5 +411,59 @@ mod tests {
         let t = Tracer::new(TraceConfig::default());
         assert!(!t.enabled());
         assert!(Tracer::new(TraceConfig::on()).enabled());
+    }
+
+    fn sample_decision(chosen: u64) -> crate::decision::DecisionEvent {
+        crate::decision::DecisionEvent {
+            kind: crate::decision::DecisionKind::Eviction,
+            policy: "lru",
+            origin: "capacity",
+            rung: 0,
+            chosen,
+            pages: vec![chosen, chosen + 1],
+        }
+    }
+
+    #[test]
+    fn tracing_without_audit_records_no_decisions() {
+        let mut t = Tracer::new(TraceConfig::on());
+        assert!(t.enabled());
+        assert!(!t.audit_enabled());
+        let mut built = false;
+        t.decision(5, || {
+            built = true;
+            sample_decision(1)
+        });
+        assert!(!built, "decision closure must not run without audit");
+        t.sample_epoch(10, []);
+        let r = t.finish().unwrap();
+        assert!(r.decisions.is_empty());
+        assert_eq!(r.dropped_decisions, 0);
+        assert!(
+            !r.series
+                .schema
+                .iter()
+                .any(|(n, _)| n == "telemetry.decisions.dropped"),
+            "non-audited schema must not grow"
+        );
+    }
+
+    #[test]
+    fn audited_tracer_records_decisions_and_loss() {
+        let mut t = Tracer::new(TraceConfig {
+            decision_capacity: 2,
+            ..TraceConfig::audited()
+        });
+        assert!(t.audit_enabled());
+        for i in 0..5u64 {
+            t.decision(i, || sample_decision(i));
+        }
+        t.sample_epoch(100, []);
+        let r = t.finish().unwrap();
+        assert_eq!(r.decisions.len(), 2);
+        assert_eq!(r.dropped_decisions, 3);
+        assert!(r.lossy());
+        assert_eq!(r.series.final_total("telemetry.decisions.dropped"), 3);
+        assert_eq!(r.decisions[0].event.pages, vec![3, 4], "newest survive");
     }
 }

@@ -48,8 +48,14 @@ use sim_core::fault::{FaultInjector, InjectionStats};
 use sim_core::time::Cycle;
 use sim_core::{FxHashSet, TouchVec};
 use telemetry::{
-    InjectedFaultKind, MetricKind, RunTelemetry, SpanId, SpanStage, TraceEvent, Tracer,
+    DecisionEvent, DecisionKind, InjectedFaultKind, MetricKind, RunTelemetry, SpanId, SpanStage,
+    TraceEvent, Tracer,
 };
+
+/// Candidate-window size recorded per audited eviction decision. Large
+/// enough to show what the policy weighed, small enough to keep the
+/// decision ring cheap.
+const AUDIT_CANDIDATES: usize = 8;
 
 /// Driver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -452,9 +458,30 @@ impl UvmDriver {
         pinned: &FxHashSet<gmmu::types::ChunkId>,
     ) -> bool {
         self.engine.note_memory_full();
+        // Audit provenance: preview the candidate window *before*
+        // selection — selection itself mutates policy state (CLOCK's
+        // hand, RRIP aging, the random draw), so the preview must come
+        // first to describe the choice the policy actually faced.
+        let candidates = self
+            .tracer
+            .audit_enabled()
+            .then(|| self.engine.victim_candidates(pinned, AUDIT_CANDIDATES));
         let Some(victim) = self.engine.select_victim(pinned) else {
             return false;
         };
+        if let Some(cands) = candidates {
+            let policy = self.engine.evict_name();
+            let rung = self.rung;
+            self.tracer
+                .decision(self.service_start.0, || DecisionEvent {
+                    kind: DecisionKind::Eviction,
+                    policy,
+                    origin: "capacity",
+                    rung,
+                    chosen: victim.0,
+                    pages: cands.into_iter().map(|c| c.0).collect(),
+                });
+        }
         let mut touch = TouchVec::empty();
         let mut resident = 0u32;
         for page in victim.pages() {
@@ -681,6 +708,25 @@ impl UvmDriver {
                     plan.sort_unstable_by_key(|p| p.0);
                     break;
                 }
+            }
+
+            // Audit provenance: the final plan (post cap-truncation and
+            // any chain-exhausted shrink) with the strategy branch that
+            // produced it. These are exactly the pages mapped below, so
+            // the ledger can replay residency from the decision stream.
+            if self.tracer.audit_enabled() {
+                let policy = self.engine.prefetch_name();
+                let origin = self.engine.plan_origin();
+                let rung = self.rung;
+                let pages: Vec<u64> = plan.iter().map(|p| p.0).collect();
+                self.tracer.decision(host_cursor.0, || DecisionEvent {
+                    kind: DecisionKind::Prefetch,
+                    policy,
+                    origin,
+                    rung,
+                    chosen: fault.0,
+                    pages,
+                });
             }
 
             // Map, grouped by chunk for the policy notifications.
@@ -1511,6 +1557,71 @@ mod tests {
         assert!(has(&|e| matches!(e, TraceEvent::MigrationDma { .. })));
         assert!(has(&|e| matches!(e, TraceEvent::Eviction { .. })));
         assert!(has(&|e| matches!(e, TraceEvent::BatchServiced { .. })));
+    }
+
+    #[test]
+    fn audited_run_records_decision_provenance() {
+        use telemetry::{DecisionKind, TraceConfig, Tracer};
+        let (mut d, mut xlat) = setup(32, PolicyPreset::Baseline);
+        d.set_tracer(Tracer::new(TraceConfig::audited()));
+        d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat)
+            .unwrap();
+        d.service_batch(&[VirtPage(16)], Cycle(100_000), &mut xlat)
+            .unwrap();
+        // Memory full → this batch evicts chunk 0 (LRU) and migrates
+        // chunk 2: one eviction decision plus three prefetch decisions.
+        d.service_batch(&[VirtPage(32)], Cycle(200_000), &mut xlat)
+            .unwrap();
+        let t = d.take_telemetry().unwrap();
+        let evs: Vec<_> = t
+            .decisions
+            .iter()
+            .filter(|r| r.event.kind == DecisionKind::Eviction)
+            .collect();
+        let pfs: Vec<_> = t
+            .decisions
+            .iter()
+            .filter(|r| r.event.kind == DecisionKind::Prefetch)
+            .collect();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(pfs.len(), 3, "one per serviced fault");
+        let ev = &evs[0].event;
+        assert_eq!(ev.policy, "lru");
+        assert_eq!(ev.origin, "capacity");
+        assert_eq!(ev.rung, 0);
+        assert_eq!(ev.chosen, 0, "LRU victim is chunk 0");
+        assert!(
+            ev.pages.contains(&ev.chosen),
+            "victim inside the candidate window"
+        );
+        assert!(ev.pages.len() <= AUDIT_CANDIDATES);
+        let pf = &pfs[2].event;
+        assert_eq!(pf.policy, "seq-local");
+        assert_eq!(pf.origin, "whole-chunk");
+        assert_eq!(pf.chosen, 32);
+        assert_eq!(pf.pages.len(), 16, "the exact mapped plan");
+        assert!(pf.pages.contains(&32));
+        assert_eq!(t.dropped_decisions, 0);
+    }
+
+    #[test]
+    fn tracing_without_audit_records_no_decisions() {
+        use telemetry::{TraceConfig, Tracer};
+        let (mut d, mut xlat) = setup(32, PolicyPreset::Baseline);
+        d.set_tracer(Tracer::new(TraceConfig::on()));
+        d.service_batch(&[VirtPage(0)], Cycle::ZERO, &mut xlat)
+            .unwrap();
+        d.service_batch(&[VirtPage(16)], Cycle(100_000), &mut xlat)
+            .unwrap();
+        d.service_batch(&[VirtPage(32)], Cycle(200_000), &mut xlat)
+            .unwrap();
+        let t = d.take_telemetry().unwrap();
+        assert!(t.decisions.is_empty());
+        assert_eq!(t.dropped_decisions, 0);
+        assert!(
+            !t.series.schema.iter().any(|(n, _)| n.contains("decisions")),
+            "audit-off schema must not grow"
+        );
     }
 
     #[test]
