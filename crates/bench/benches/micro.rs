@@ -131,6 +131,68 @@ fn event_queue_ops(c: &mut Criterion) {
             black_box(n)
         });
     });
+
+    // The simulator's real delta distribution is bimodal: most events
+    // reschedule a handful of cycles ahead (lane latencies, TLB probes),
+    // while batch completions land a driver round-trip (~28k cycles)
+    // out — past the calendar queue's near-future ring, exercising the
+    // far-heap drain. Steady-state mixes: pop one, push one at the
+    // popped time plus a drawn delta.
+    let mut g = c.benchmark_group("event_queue_steady_state");
+    for (label, mix) in [
+        // ~lane cadence: always inside the ring.
+        ("near_deltas", [1u64, 4, 16, 80, 200, 2, 8, 40]),
+        // ~driver cadence: always past the ring (RING = 2048).
+        ("far_deltas", [28_000, 35_000, 30_000, 28_500, 40_000, 29_000, 31_000, 33_000]),
+        // ~observed fault-heavy runs: mostly near, a far tail.
+        ("mixed_deltas", [1, 4, 16, 80, 2, 8, 28_000, 35_000]),
+    ] {
+        g.bench_function(label, |b| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..256u64 {
+                q.push(Cycle(i * 7), i);
+            }
+            let mut i = 0usize;
+            b.iter(|| {
+                let (t, e) = q.pop().expect("queue stays populated");
+                i = (i + 1) % mix.len();
+                q.push(Cycle(t.0 + mix[i]), e);
+                black_box(t)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn page_table_probe(c: &mut Criterion) {
+    use gmmu::page_table::legacy::MapPageTable;
+
+    // Residency probes dominate translation misses and prefetch
+    // planning; compare the flat direct-indexed table against the
+    // pre-overhaul hash map on the same dense footprint.
+    const FOOTPRINT: u64 = 1 << 16;
+    let mut flat = PageTable::new();
+    let mut map = MapPageTable::new();
+    for i in (0..FOOTPRINT).step_by(2) {
+        flat.map(VirtPage(i), Frame(i as u32), false);
+        map.map(VirtPage(i), Frame(i as u32), false);
+    }
+    let mut g = c.benchmark_group("page_table_probe");
+    g.bench_function("flat_residency", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % FOOTPRINT;
+            black_box(flat.residency(VirtPage(i)))
+        });
+    });
+    g.bench_function("legacy_map_residency", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % FOOTPRINT;
+            black_box(map.residency(VirtPage(i)))
+        });
+    });
+    g.finish();
 }
 
 fn fault_batch(c: &mut Criterion) {
@@ -154,6 +216,7 @@ criterion_group!(
     walker_ops,
     pattern_ops,
     event_queue_ops,
+    page_table_probe,
     fault_batch
 );
 criterion_main!(micro);

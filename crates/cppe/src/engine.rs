@@ -159,13 +159,16 @@ impl PolicyEngine {
         self.evict.on_fault(page);
     }
 
-    /// Plan the pages to migrate for a fault on `page`.
-    pub fn plan_prefetch(&mut self, page: VirtPage, pt: &PageTable) -> Vec<VirtPage> {
+    /// Plan the pages to migrate for a fault on `page`, writing them
+    /// into `plan` (cleared first). The caller reuses one buffer across
+    /// faults so steady-state planning allocates nothing.
+    pub fn plan_prefetch_into(&mut self, page: VirtPage, pt: &PageTable, plan: &mut Vec<VirtPage>) {
+        plan.clear();
         let ctx = PrefetchCtx {
             page_table: pt,
             memory_full: self.memory_full,
         };
-        let mut plan = self.prefetch.plan(page, &ctx);
+        self.prefetch.plan_into(page, &ctx, plan);
         debug_assert!(plan.contains(&page), "plan must include the faulted page");
         debug_assert!(
             plan.iter().all(|&p| !pt.is_resident(p)),
@@ -181,6 +184,13 @@ impl PolicyEngine {
             plan.push(page);
             plan.sort_unstable_by_key(|p| p.0);
         }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`PolicyEngine::plan_prefetch_into`].
+    pub fn plan_prefetch(&mut self, page: VirtPage, pt: &PageTable) -> Vec<VirtPage> {
+        let mut plan = Vec::new();
+        self.plan_prefetch_into(page, pt, &mut plan);
         plan
     }
 

@@ -32,10 +32,19 @@ pub trait Prefetcher: Send {
     /// Short stable identifier for reports.
     fn name(&self) -> &'static str;
 
-    /// Plan the migration for a fault on `fault`: return the pages to
-    /// bring in. Must include `fault` itself and must only contain
-    /// non-resident pages.
-    fn plan(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>) -> Vec<VirtPage>;
+    /// Plan the migration for a fault on `fault`, appending the pages to
+    /// bring in to `out` (which must be empty on entry — the caller
+    /// clears and reuses one buffer across faults, so steady-state
+    /// planning allocates nothing). The plan must include `fault` itself
+    /// and must only contain non-resident pages.
+    fn plan_into(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>, out: &mut Vec<VirtPage>);
+
+    /// Allocating convenience wrapper over [`Prefetcher::plan_into`].
+    fn plan(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>) -> Vec<VirtPage> {
+        let mut out = Vec::new();
+        self.plan_into(fault, ctx, &mut out);
+        out
+    }
 
     /// Which strategy branch produced the most recent
     /// [`Prefetcher::plan`] — a stable label the decision audit layer
@@ -82,16 +91,23 @@ impl Prefetcher for NonePrefetcher {
         "none"
     }
 
-    fn plan(&mut self, fault: VirtPage, _ctx: &PrefetchCtx<'_>) -> Vec<VirtPage> {
-        vec![fault]
+    fn plan_into(&mut self, fault: VirtPage, _ctx: &PrefetchCtx<'_>, out: &mut Vec<VirtPage>) {
+        out.push(fault);
     }
 }
 
-/// Helper shared by chunk-granularity strategies: every non-resident
-/// page of `chunk`, in address order.
+/// Helper shared by chunk-granularity strategies: append every
+/// non-resident page of `chunk`, in address order, to `out`.
+pub fn non_resident_pages_into(chunk: ChunkId, pt: &PageTable, out: &mut Vec<VirtPage>) {
+    out.extend(chunk.pages().filter(|&p| !pt.is_resident(p)));
+}
+
+/// Allocating convenience wrapper over [`non_resident_pages_into`].
 #[must_use]
 pub fn non_resident_pages(chunk: ChunkId, pt: &PageTable) -> Vec<VirtPage> {
-    chunk.pages().filter(|&p| !pt.is_resident(p)).collect()
+    let mut out = Vec::new();
+    non_resident_pages_into(chunk, pt, &mut out);
+    out
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 //!   the mismatch happens on the *first* lookup after recording (Fig. 6;
 //!   Scheme-2 wins on average and is CPPE's default, §VI-B).
 
-use super::{non_resident_pages, PrefetchCtx, Prefetcher};
+use super::{non_resident_pages_into, PrefetchCtx, Prefetcher};
 use gmmu::page_table::PageTable;
 use gmmu::types::{ChunkId, VirtPage};
 use sim_core::{FxHashMap, TouchVec};
@@ -190,12 +190,18 @@ impl PatternAwarePrefetcher {
         &self.buffer
     }
 
-    fn pattern_pages(chunk: ChunkId, pattern: TouchVec, pt: &PageTable) -> Vec<VirtPage> {
-        pattern
-            .touched()
-            .map(|i| chunk.page(i))
-            .filter(|&p| !pt.is_resident(p))
-            .collect()
+    fn pattern_pages_into(
+        chunk: ChunkId,
+        pattern: TouchVec,
+        pt: &PageTable,
+        out: &mut Vec<VirtPage>,
+    ) {
+        out.extend(
+            pattern
+                .touched()
+                .map(|i| chunk.page(i))
+                .filter(|&p| !pt.is_resident(p)),
+        );
     }
 }
 
@@ -213,29 +219,28 @@ impl Prefetcher for PatternAwarePrefetcher {
         }
     }
 
-    fn plan(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>) -> Vec<VirtPage> {
+    fn plan_into(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>, out: &mut Vec<VirtPage>) {
         let chunk = fault.chunk();
         match self.buffer.probe(fault, self.scheme) {
             ProbeResult::Match(pattern) => {
                 self.last_origin = "pattern-hit";
-                let mut pages = Self::pattern_pages(chunk, pattern, ctx.page_table);
+                Self::pattern_pages_into(chunk, pattern, ctx.page_table, out);
                 // The faulted page always migrates; it matches the
-                // pattern here, so it is already in `pages` unless it
+                // pattern here, so it is already in `out` unless it
                 // somehow became resident (it cannot — it just faulted),
                 // but be defensive.
-                if !pages.contains(&fault) {
-                    pages.push(fault);
-                    pages.sort_unstable_by_key(|p| p.0);
+                if !out.contains(&fault) {
+                    out.push(fault);
+                    out.sort_unstable_by_key(|p| p.0);
                 }
-                pages
             }
             ProbeResult::Miss => {
                 self.last_origin = "whole-chunk-miss";
-                non_resident_pages(chunk, ctx.page_table)
+                non_resident_pages_into(chunk, ctx.page_table, out);
             }
             ProbeResult::Mismatch { .. } => {
                 self.last_origin = "whole-chunk-mismatch";
-                non_resident_pages(chunk, ctx.page_table)
+                non_resident_pages_into(chunk, ctx.page_table, out);
             }
         }
     }

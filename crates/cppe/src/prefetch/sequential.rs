@@ -13,7 +13,7 @@
 //!   only single faulted pages. Helps severe thrashers, slows everything
 //!   else by up to ~85 % (Fig. 10).
 
-use super::{non_resident_pages, PrefetchCtx, Prefetcher};
+use super::{non_resident_pages_into, PrefetchCtx, Prefetcher};
 use gmmu::types::VirtPage;
 
 /// The locality prefetcher.
@@ -52,13 +52,14 @@ impl Prefetcher for SequentialLocalPrefetcher {
         }
     }
 
-    fn plan(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>) -> Vec<VirtPage> {
+    fn plan_into(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>, out: &mut Vec<VirtPage>) {
         if self.disable_when_full && ctx.memory_full {
             self.last_origin = "fault-only-on-full";
-            return vec![fault];
+            out.push(fault);
+            return;
         }
         self.last_origin = "whole-chunk";
-        non_resident_pages(fault.chunk(), ctx.page_table)
+        non_resident_pages_into(fault.chunk(), ctx.page_table, out);
     }
 
     fn plan_origin(&self) -> &'static str {

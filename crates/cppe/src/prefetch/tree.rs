@@ -11,7 +11,7 @@
 //! this implementation serves as an extension/ablation target (the
 //! `bench` crate compares it against seq-local and pattern-aware).
 
-use super::{non_resident_pages, PrefetchCtx, Prefetcher};
+use super::{non_resident_pages_into, PrefetchCtx, Prefetcher};
 use gmmu::page_table::PageTable;
 use gmmu::types::{VirtPage, PAGES_PER_CHUNK};
 
@@ -42,16 +42,16 @@ impl Prefetcher for TreeNeighborhoodPrefetcher {
         "tree-neighborhood"
     }
 
-    fn plan(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>) -> Vec<VirtPage> {
+    fn plan_into(&mut self, fault: VirtPage, ctx: &PrefetchCtx<'_>, plan: &mut Vec<VirtPage>) {
         let pt = ctx.page_table;
         // Level 0: the faulted 64 KB basic block.
-        let mut plan = non_resident_pages(fault.chunk(), pt);
+        non_resident_pages_into(fault.chunk(), pt, plan);
         // Walk up: 128 KB, 256 KB, ..., 2 MB nodes containing the fault.
         let mut node_pages = PAGES_PER_CHUNK;
         while node_pages < ROOT_PAGES {
             node_pages *= 2;
             let start = (fault.0 / node_pages) * node_pages;
-            let populated = Self::populated(start, node_pages, pt, &plan);
+            let populated = Self::populated(start, node_pages, pt, plan);
             if populated * 2 > node_pages {
                 for p in start..start + node_pages {
                     let vp = VirtPage(p);
@@ -64,7 +64,6 @@ impl Prefetcher for TreeNeighborhoodPrefetcher {
             }
         }
         plan.sort_unstable_by_key(|p| p.0);
-        plan
     }
 
     fn plan_origin(&self) -> &'static str {

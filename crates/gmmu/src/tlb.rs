@@ -7,6 +7,14 @@
 //! Entries map a [`VirtPage`] to its [`Frame`]. Evicting a page from GPU
 //! memory must shoot the translation down from every TLB, which the
 //! `uvm` driver does through [`Tlb::invalidate`].
+//!
+//! Ways live in one flat fixed-width array (`n_sets × associativity`
+//! slots, per-set fill counts) instead of per-set `Vec`s: a set's ways
+//! are contiguous, so lookup scans stay in one or two cache lines and
+//! construction does one allocation. Within a set the semantics mirror
+//! the obvious `Vec` exactly — new ways append at the fill mark,
+//! removal swaps the last filled way into the hole — so replacement
+//! behaviour (and therefore every simulated hit/miss) is unchanged.
 
 use crate::types::{Frame, VirtPage};
 use sim_core::stats::Counter;
@@ -54,11 +62,20 @@ struct Way {
     stamp: u64,
 }
 
+const EMPTY_WAY: Way = Way {
+    page: VirtPage(u64::MAX),
+    frame: Frame(0),
+    stamp: 0,
+};
+
 /// A set-associative TLB with true-LRU replacement.
 #[derive(Debug)]
 pub struct Tlb {
     cfg: TlbConfig,
-    sets: Vec<Vec<Way>>,
+    /// Flat way storage: set `s` occupies `ways[s*assoc .. s*assoc+lens[s]]`.
+    ways: Vec<Way>,
+    /// Filled ways per set.
+    lens: Vec<u32>,
     n_sets: usize,
     tick: u64,
     /// Lookup hits.
@@ -85,9 +102,8 @@ impl Tlb {
         let n_sets = cfg.entries / cfg.associativity;
         Tlb {
             cfg,
-            sets: (0..n_sets)
-                .map(|_| Vec::with_capacity(cfg.associativity))
-                .collect(),
+            ways: vec![EMPTY_WAY; cfg.entries],
+            lens: vec![0; n_sets],
             n_sets,
             tick: 0,
             hits: Counter::default(),
@@ -100,13 +116,22 @@ impl Tlb {
         (page.0 % self.n_sets as u64) as usize
     }
 
+    /// Filled slice of set `set`.
+    #[inline]
+    fn set_ways(&self, set: usize) -> &[Way] {
+        let base = set * self.cfg.associativity;
+        &self.ways[base..base + self.lens[set] as usize]
+    }
+
     /// Look up `page`, updating LRU state and hit/miss counters.
     /// Returns the cached frame on a hit.
     pub fn lookup(&mut self, page: VirtPage) -> Option<Frame> {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_index(page);
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.page == page) {
+        let base = set * self.cfg.associativity;
+        let filled = &mut self.ways[base..base + self.lens[set] as usize];
+        if let Some(way) = filled.iter_mut().find(|w| w.page == page) {
             way.stamp = tick;
             self.hits.inc();
             Some(way.frame)
@@ -120,8 +145,7 @@ impl Tlb {
     /// by coherence assertions in the `gpu` crate).
     #[must_use]
     pub fn probe(&self, page: VirtPage) -> Option<Frame> {
-        let set = self.set_index(page);
-        self.sets[set]
+        self.set_ways(self.set_index(page))
             .iter()
             .find(|w| w.page == page)
             .map(|w| w.frame)
@@ -134,37 +158,47 @@ impl Tlb {
         let tick = self.tick;
         let set = self.set_index(page);
         let assoc = self.cfg.associativity;
-        let ways = &mut self.sets[set];
-        if let Some(way) = ways.iter_mut().find(|w| w.page == page) {
+        let base = set * assoc;
+        let len = self.lens[set] as usize;
+        let filled = &mut self.ways[base..base + len];
+        if let Some(way) = filled.iter_mut().find(|w| w.page == page) {
             way.frame = frame;
             way.stamp = tick;
             return None;
         }
         let mut victim = None;
-        if ways.len() == assoc {
-            let lru = ways
+        let mut slot = len;
+        if len == assoc {
+            let lru = filled
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, w)| w.stamp)
                 .map(|(i, _)| i)
                 .expect("full set has ways");
-            let w = ways.swap_remove(lru);
+            let w = filled[lru];
             victim = Some((w.page, w.frame));
+            slot = lru;
+        } else {
+            self.lens[set] += 1;
         }
-        ways.push(Way {
+        self.ways[base + slot] = Way {
             page,
             frame,
             stamp: tick,
-        });
+        };
         victim
     }
 
     /// Shoot down the translation for `page`. Returns true if present.
     pub fn invalidate(&mut self, page: VirtPage) -> bool {
         let set = self.set_index(page);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|w| w.page == page) {
-            ways.swap_remove(pos);
+        let base = set * self.cfg.associativity;
+        let len = self.lens[set] as usize;
+        let filled = &mut self.ways[base..base + len];
+        if let Some(pos) = filled.iter().position(|w| w.page == page) {
+            filled[pos] = filled[len - 1];
+            self.ways[base + len - 1] = EMPTY_WAY;
+            self.lens[set] -= 1;
             true
         } else {
             false
@@ -173,9 +207,8 @@ impl Tlb {
 
     /// Drop every translation.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.ways.fill(EMPTY_WAY);
+        self.lens.fill(0);
     }
 
     /// Hit latency from the config.
@@ -187,7 +220,7 @@ impl Tlb {
     /// Number of currently valid entries.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 }
 
@@ -304,5 +337,20 @@ mod tests {
             t.insert(VirtPage(i), Frame(i as u32));
         }
         assert!(t.occupancy() <= 4);
+    }
+
+    #[test]
+    fn victim_slot_reuse_keeps_set_consistent() {
+        // Replacement writes the new way into the victim's slot; every
+        // surviving way must remain probeable afterwards.
+        let mut t = tiny();
+        t.insert(VirtPage(0), Frame(0));
+        t.insert(VirtPage(2), Frame(2));
+        t.lookup(VirtPage(2)); // page 0 becomes LRU
+        let victim = t.insert(VirtPage(4), Frame(4));
+        assert_eq!(victim, Some((VirtPage(0), Frame(0))));
+        assert_eq!(t.probe(VirtPage(2)), Some(Frame(2)));
+        assert_eq!(t.probe(VirtPage(4)), Some(Frame(4)));
+        assert_eq!(t.occupancy(), 2);
     }
 }

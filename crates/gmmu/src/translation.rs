@@ -79,6 +79,11 @@ pub struct TranslationTiming {
     pub walk_done: Cycle,
 }
 
+/// TLB-presence-mask bit reserved for the shared L2 TLB; bits `0..63`
+/// identify per-SM L1 TLBs. Hierarchies with more than 63 SMs fall back
+/// to scanning every TLB on shootdown.
+const L2_MASK_BIT: u32 = 63;
+
 /// The full translation hierarchy.
 #[derive(Debug)]
 pub struct TranslationPath {
@@ -87,6 +92,8 @@ pub struct TranslationPath {
     pwc: WalkCache,
     walker: Walker,
     page_table: PageTable,
+    /// Whether per-page TLB presence masks are in use (num_sms ≤ 63).
+    use_masks: bool,
 }
 
 impl TranslationPath {
@@ -99,6 +106,33 @@ impl TranslationPath {
             pwc: WalkCache::table1_default(),
             walker: Walker::new(cfg.walker),
             page_table: PageTable::new(),
+            use_masks: cfg.num_sms as u32 <= L2_MASK_BIT,
+        }
+    }
+
+    /// Install `page` in SM `sm`'s L1 TLB, keeping presence masks in sync
+    /// for both the installed page and any capacity victim.
+    #[inline]
+    fn l1_fill(&mut self, sm: SmId, page: VirtPage, frame: Frame) {
+        let victim = self.l1[sm.idx()].insert(page, frame);
+        if self.use_masks {
+            self.page_table.tlb_note_insert(page, sm.idx() as u32);
+            if let Some((vp, _)) = victim {
+                self.page_table.tlb_note_remove(vp, sm.idx() as u32);
+            }
+        }
+    }
+
+    /// Install `page` in the shared L2 TLB, keeping presence masks in
+    /// sync for both the installed page and any capacity victim.
+    #[inline]
+    fn l2_fill(&mut self, page: VirtPage, frame: Frame) {
+        let victim = self.l2.insert(page, frame);
+        if self.use_masks {
+            self.page_table.tlb_note_insert(page, L2_MASK_BIT);
+            if let Some((vp, _)) = victim {
+                self.page_table.tlb_note_remove(vp, L2_MASK_BIT);
+            }
         }
     }
 
@@ -149,7 +183,7 @@ impl TranslationPath {
         let l2_latency = self.l2.hit_latency();
         let after_l2 = after_l1.after(l2_latency);
         if let Some(frame) = self.l2.lookup(page) {
-            self.l1[sm.idx()].insert(page, frame);
+            self.l1_fill(sm, page, frame);
             return (
                 TranslationOutcome::Hit {
                     frame,
@@ -174,8 +208,8 @@ impl TranslationPath {
         };
         let outcome = match out.residency {
             Residency::Resident(frame) => {
-                self.l2.insert(page, frame);
-                self.l1[sm.idx()].insert(page, frame);
+                self.l2_fill(page, frame);
+                self.l1_fill(sm, page, frame);
                 TranslationOutcome::Hit {
                     frame,
                     ready_at: out.complete_at,
@@ -195,11 +229,29 @@ impl TranslationPath {
 
     /// Driver side: unmap `page` and shoot down every TLB. Returns the
     /// freed frame and the hardware access bit (touched).
+    ///
+    /// The page's presence mask names exactly the TLBs holding it, so
+    /// the shootdown visits only those (usually zero — most evicted
+    /// pages are cold) instead of scanning every way of every L1.
     pub fn unmap_and_invalidate(&mut self, page: VirtPage) -> (Frame, bool) {
-        for l1 in &mut self.l1 {
-            l1.invalidate(page);
+        if self.use_masks {
+            let mut mask = self.page_table.tlb_mask(page);
+            while mask != 0 {
+                let bit = mask.trailing_zeros();
+                mask &= mask - 1;
+                let hit = if bit == L2_MASK_BIT {
+                    self.l2.invalidate(page)
+                } else {
+                    self.l1[bit as usize].invalidate(page)
+                };
+                debug_assert!(hit, "presence mask bit {bit} set but page not in TLB");
+            }
+        } else {
+            for l1 in &mut self.l1 {
+                l1.invalidate(page);
+            }
+            self.l2.invalidate(page);
         }
-        self.l2.invalidate(page);
         self.page_table.unmap(page)
     }
 
@@ -423,6 +475,74 @@ mod tests {
             let plain = a.translate(SmId(0), VirtPage(page), now);
             let (timed, _) = b.translate_timed(SmId(0), VirtPage(page), now);
             assert_eq!(plain, timed, "step {i}");
+        }
+    }
+
+    #[test]
+    fn presence_masks_track_tlb_contents_exactly() {
+        // Random translate/map/unmap churn with capacity pressure in
+        // every TLB: afterwards, each resident page's mask must name
+        // exactly the TLBs that hold it, and shootdowns driven by the
+        // mask must leave no stale translation behind.
+        let mut p = TranslationPath::new(&TranslationConfig {
+            num_sms: 4,
+            l1: TlbConfig {
+                entries: 8,
+                associativity: 8,
+                hit_latency: 1,
+            },
+            l2: TlbConfig {
+                entries: 16,
+                associativity: 4,
+                hit_latency: 10,
+            },
+            ..TranslationConfig::default()
+        });
+        let mut x: u64 = 0xABCD_EF01_2345_6789;
+        let mut resident: Vec<VirtPage> = Vec::new();
+        let mut next_frame = 0u32;
+        let mut now = 0u64;
+        for _ in 0..3000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            now += 1_000;
+            let page = VirtPage(x % 64);
+            match x % 4 {
+                0 if !p.page_table.is_resident(page) => {
+                    p.map(page, Frame(next_frame), false);
+                    next_frame += 1;
+                    resident.push(page);
+                }
+                1 if !resident.is_empty() => {
+                    let victim = resident.swap_remove((x / 7) as usize % resident.len());
+                    p.unmap_and_invalidate(victim);
+                    for (sm, l1) in p.l1.iter().enumerate() {
+                        assert!(l1.probe(victim).is_none(), "stale L1[{sm}] entry");
+                    }
+                    assert!(p.l2.probe(victim).is_none(), "stale L2 entry");
+                }
+                _ => {
+                    let sm = SmId((x / 13) as u16 % 4);
+                    let _ = p.translate(sm, page, Cycle(now));
+                }
+            }
+        }
+        for &page in &resident {
+            let mut expect = 0u64;
+            for (sm, l1) in p.l1.iter().enumerate() {
+                if l1.probe(page).is_some() {
+                    expect |= 1 << sm;
+                }
+            }
+            if p.l2.probe(page).is_some() {
+                expect |= 1 << L2_MASK_BIT;
+            }
+            assert_eq!(
+                p.page_table.tlb_mask(page),
+                expect,
+                "mask drift for {page:?}"
+            );
         }
     }
 

@@ -14,6 +14,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod sim;
+pub mod waiters;
 
 pub use config::GpuConfig;
 pub use sim::{simulate, simulate_accesses, Outcome, RunResult, TimelinePoint};

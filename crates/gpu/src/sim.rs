@@ -134,7 +134,7 @@ enum Event {
 fn record_batch_spans(
     tracer: &mut telemetry::Tracer,
     completions: &[(VirtPage, Cycle)],
-    waiting: &sim_core::FxHashMap<VirtPage, Vec<u32>>,
+    waiting: &crate::waiters::WaiterTable,
     fault_spans: &sim_core::FxHashMap<(u64, u32), (SpanId, SpanId, u64)>,
     dispatch: Cycle,
     warps_per_sm: usize,
@@ -147,10 +147,7 @@ fn record_batch_spans(
             .or_insert(t_done);
     }
     for (page, t_done) in ready {
-        let Some(lanes) = waiting.get(&page) else {
-            continue;
-        };
-        for &lane in lanes {
+        for lane in waiting.lanes(page) {
             let Some(&(root, queue_wait, fault_at)) = fault_spans.get(&(page.0, lane)) else {
                 continue;
             };
@@ -276,7 +273,10 @@ pub fn simulate(
     }
 
     let mut pending_faults: Vec<VirtPage> = Vec::new();
-    let mut waiting: sim_core::FxHashMap<VirtPage, Vec<u32>> = sim_core::FxHashMap::default();
+    // Double buffer for batch dispatch: faults accumulating for the
+    // *next* batch swap into here, so dispatching never re-allocates.
+    let mut batch_buf: Vec<VirtPage> = Vec::new();
+    let mut waiting = crate::waiters::WaiterTable::new();
     let mut driver_busy = false;
     let mut outcome = Outcome::Completed;
     let mut end = Cycle::ZERO;
@@ -408,11 +408,11 @@ pub fn simulate(
                             fault_spans.insert((page, lane), (root, queue_wait, at.0));
                         }
                         pending_faults.push(step.page);
-                        waiting.entry(step.page).or_default().push(lane);
+                        waiting.push(step.page, lane);
                         if !driver_busy {
                             driver_busy = true;
-                            let faults = std::mem::take(&mut pending_faults);
-                            let r = match driver.service_batch(&faults, at, &mut xlat) {
+                            std::mem::swap(&mut pending_faults, &mut batch_buf);
+                            let r = match driver.service_batch(&batch_buf, at, &mut xlat) {
                                 Ok(r) => r,
                                 Err(e) => {
                                     error = Some(e.to_string());
@@ -420,6 +420,7 @@ pub fn simulate(
                                     break;
                                 }
                             };
+                            batch_buf.clear();
                             if r.crashed {
                                 outcome = Outcome::Crashed;
                                 end = r.done_at;
@@ -437,11 +438,11 @@ pub fn simulate(
                             }
                             // Overflow tail (injected queue-depth limit):
                             // re-queue for the next batch.
-                            pending_faults.extend(r.deferred);
-                            for p in r.evicted {
+                            pending_faults.extend_from_slice(&r.deferred);
+                            for &p in &r.evicted {
                                 caches.invalidate(p);
                             }
-                            for (page, t) in r.completions {
+                            for &(page, t) in &r.completions {
                                 q.push(t, Event::PageReady(page));
                             }
                             q.push(r.host_done, Event::DriverFree);
@@ -455,6 +456,7 @@ pub fn simulate(
                                     resident_pages: xlat.page_table().resident_count() as u64,
                                 });
                             }
+                            driver.recycle(r);
                         }
                     }
                 }
@@ -463,25 +465,22 @@ pub fn simulate(
                 // Lanes that faulted on this page replay now; lanes that
                 // faulted on sibling pages of the same chunk were given
                 // their own completions by the driver.
-                if let Some(lanes) = waiting.remove(&page) {
-                    for lane in lanes {
-                        if tracing {
-                            if let Some((root, queue_wait, _)) = fault_spans.remove(&(page.0, lane))
-                            {
-                                let tr = driver.tracer_mut();
-                                // A lane whose own fault never made a
-                                // batch (another lane's did) waits until
-                                // the shared page lands.
-                                tr.span_close(queue_wait, now.0);
-                                let sm = (lane as usize / cfg.warps_per_sm) as u16;
-                                let replay =
-                                    tr.span_open(SpanStage::Replay, now.0, root, sm, lane, page.0);
-                                replay_spans.insert(lane, (root, replay));
-                            }
+                waiting.take(page, |lane| {
+                    if tracing {
+                        if let Some((root, queue_wait, _)) = fault_spans.remove(&(page.0, lane)) {
+                            let tr = driver.tracer_mut();
+                            // A lane whose own fault never made a
+                            // batch (another lane's did) waits until
+                            // the shared page lands.
+                            tr.span_close(queue_wait, now.0);
+                            let sm = (lane as usize / cfg.warps_per_sm) as u16;
+                            let replay =
+                                tr.span_open(SpanStage::Replay, now.0, root, sm, lane, page.0);
+                            replay_spans.insert(lane, (root, replay));
                         }
-                        q.push(now, Event::LaneReady(lane));
                     }
-                }
+                    q.push(now, Event::LaneReady(lane));
+                });
             }
             Event::DriverFree => {
                 driver_busy = false;
@@ -490,8 +489,8 @@ pub fn simulate(
                 // amortizes the far-fault round trip.
                 if !pending_faults.is_empty() {
                     driver_busy = true;
-                    let faults = std::mem::take(&mut pending_faults);
-                    let r = match driver.service_batch(&faults, now, &mut xlat) {
+                    std::mem::swap(&mut pending_faults, &mut batch_buf);
+                    let r = match driver.service_batch(&batch_buf, now, &mut xlat) {
                         Ok(r) => r,
                         Err(e) => {
                             error = Some(e.to_string());
@@ -499,6 +498,7 @@ pub fn simulate(
                             break;
                         }
                     };
+                    batch_buf.clear();
                     if r.crashed {
                         outcome = Outcome::Crashed;
                         end = r.done_at;
@@ -514,11 +514,11 @@ pub fn simulate(
                             cfg.warps_per_sm,
                         );
                     }
-                    pending_faults.extend(r.deferred);
-                    for p in r.evicted {
+                    pending_faults.extend_from_slice(&r.deferred);
+                    for &p in &r.evicted {
                         caches.invalidate(p);
                     }
-                    for (page, t) in r.completions {
+                    for &(page, t) in &r.completions {
                         q.push(t, Event::PageReady(page));
                     }
                     q.push(r.host_done, Event::DriverFree);
@@ -532,6 +532,7 @@ pub fn simulate(
                             resident_pages: xlat.page_table().resident_count() as u64,
                         });
                     }
+                    driver.recycle(r);
                 }
             }
         }

@@ -1,0 +1,53 @@
+//! Extension: simulator wall-clock speed baseline. Usage:
+//! `cargo run --release -p harness --bin speed [--check BENCH_speed.json]`
+//!
+//! Without `--check`: times every `workload × policy` cell (warmup +
+//! median-of-N), prints the table and writes
+//! `results/BENCH_speed.json`.
+//!
+//! With `--check PATH`: additionally compares the fresh measurements to
+//! the committed baseline at PATH and exits non-zero when the
+//! geometric-mean wall-clock ratio regresses past the tolerance — the
+//! CI speed-regression gate.
+use harness::experiments::speed;
+use harness::ExpConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check needs a path").clone());
+
+    let cfg = ExpConfig::default();
+    let t0 = std::time::Instant::now();
+    let cells = speed::measure(&cfg);
+    let doc = speed::speed_json(&cells);
+    match harness::report::save("BENCH_speed.json", &doc) {
+        Ok(path) => eprintln!("[speed] export saved to {}", path.display()),
+        Err(e) => eprintln!("[speed] could not save export: {e}"),
+    }
+
+    let mut t = harness::report::Table::new(&["app", "policy", "wall ms", "Mcycles/s"]);
+    for c in &cells {
+        t.row(vec![
+            c.app.to_string(),
+            c.policy.clone(),
+            format!("{:.3}", c.wall_ms),
+            format!("{:.2}", c.sim_cycles_per_sec / 1e6),
+        ]);
+    }
+    println!("{}", t.render());
+    eprintln!("[speed] completed in {:.1?}", t0.elapsed());
+
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let (report, regressed) = speed::check(&cells, &baseline);
+        println!("{report}");
+        if regressed {
+            eprintln!("[speed] wall-clock regression past tolerance — failing");
+            std::process::exit(1);
+        }
+    }
+}

@@ -26,6 +26,7 @@
 //! | [`chaos`] | extension: slowdown under deterministic fault injection |
 //! | [`profile`] | extension: fault-lifecycle latency profile (BENCH_profile.json) |
 //! | [`audit`] | extension: decision provenance, page-lifetime ledger and Belady regret (BENCH_audit.json) |
+//! | [`speed`] | extension: simulator wall-clock baseline and CI regression gate (BENCH_speed.json) |
 
 pub mod ablation;
 pub mod audit;
@@ -42,6 +43,7 @@ pub mod overhead;
 pub mod profile;
 pub mod sens;
 pub mod sens2;
+pub mod speed;
 pub mod stability;
 pub mod table3;
 pub mod table4;

@@ -1,16 +1,17 @@
 //! Parallel sweep executor.
 //!
 //! The evaluation matrix (23 workloads × policies × 2 rates) is
-//! embarrassingly parallel; jobs are pulled from a shared work queue by
-//! `std::thread::scope` workers, and results come back keyed by
-//! `(workload, policy-label, rate)` for deterministic assembly.
+//! embarrassingly parallel; jobs are claimed from a shared slice by
+//! `std::thread::scope` workers through a lock-free atomic cursor, and
+//! results come back keyed by `(workload, policy-label, rate)` for
+//! deterministic assembly.
 
 use crate::runner::{run_cell, ExpConfig};
 use cppe::presets::PolicyPreset;
 use gpu::RunResult;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
 use workloads::WorkloadSpec;
 
 /// Key identifying one cell: `(workload abbr, policy label, rate in %)`.
@@ -51,17 +52,22 @@ pub fn run_sweep(jobs: Vec<Job>, cfg: &ExpConfig, threads: usize) -> BTreeMap<Ce
     }
     .min(jobs.len().max(1));
 
-    // A Mutex-wrapped iterator is the work queue (std has no MPMC
-    // channel); results flow back over an mpsc channel.
-    let queue = Mutex::new(jobs.into_iter());
+    // The work queue is a shared cursor over the job slice: each worker
+    // claims the next unclaimed index with one `fetch_add` — no mutex to
+    // contend on or poison. Claim order varies between runs, but every
+    // cell is simulated independently and results are *keyed*, so the
+    // assembled map is identical for any thread count.
+    let jobs = &jobs[..];
+    let cursor = AtomicUsize::new(0);
     let (res_tx, res_rx) = mpsc::channel::<(CellKey, RunResult)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let queue = &queue;
+            let cursor = &cursor;
             let res_tx = res_tx.clone();
             scope.spawn(move || loop {
-                let Some(job) = queue.lock().expect("sweep queue poisoned").next() else {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(idx) else {
                     break;
                 };
                 let key = job.key();
@@ -130,5 +136,43 @@ mod tests {
             cell.cycles, serial.cycles,
             "parallel run must be deterministic"
         );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // The atomic-cursor queue hands out jobs in racy claim order;
+        // the assembled result map must not depend on it. Run the same
+        // small matrix single-threaded and with 8 workers and compare
+        // every cell's observable counters.
+        let specs = vec![
+            registry::by_abbr("STN").unwrap(),
+            registry::by_abbr("MRQ").unwrap(),
+        ];
+        let jobs = || {
+            cross(
+                &specs,
+                &[PolicyPreset::Baseline, PolicyPreset::Cppe],
+                &[0.5, 0.75],
+            )
+        };
+        let cfg = ExpConfig::quick();
+        let serial = run_sweep(jobs(), &cfg, 1);
+        let parallel = run_sweep(jobs(), &cfg, 8);
+        assert_eq!(serial.len(), parallel.len());
+        for (key, a) in &serial {
+            let b = &parallel[key];
+            assert_eq!(a.cycles, b.cycles, "{key:?}: cycles diverged");
+            assert_eq!(a.accesses, b.accesses, "{key:?}: accesses diverged");
+            assert_eq!(a.engine.faults, b.engine.faults, "{key:?}: faults diverged");
+            assert_eq!(
+                a.engine.pages_migrated, b.engine.pages_migrated,
+                "{key:?}: migrations diverged"
+            );
+            assert_eq!(
+                a.engine.pages_evicted, b.engine.pages_evicted,
+                "{key:?}: evictions diverged"
+            );
+            assert_eq!(a.bytes_h2d, b.bytes_h2d, "{key:?}: h2d bytes diverged");
+        }
     }
 }

@@ -7,10 +7,56 @@
 //! here — the reproduction must be bit-stable across runs — so same-cycle
 //! events fire in strict insertion (FIFO) order via a monotone sequence
 //! number tie-break.
+//!
+//! # Calendar-queue tiering
+//!
+//! Almost every event is scheduled a *small* delta ahead of the current
+//! time: TLB hits (1–10 cycles), page walks (hundreds), compute bursts
+//! (low hundreds). Only fault-batch round trips (tens of thousands) and
+//! long DMA tails look far into the future. The queue exploits that split
+//! with two tiers:
+//!
+//! * a **near ring** of [`RING`] per-cycle buckets covering the window
+//!   `[now, now + RING)`, indexed by `at & (RING - 1)` with a bitmap for
+//!   O(words) next-bucket scans, and
+//! * a **far heap** ([`BinaryHeap`]) for events at `now + RING` or later.
+//!
+//! Every time `now` advances (every pop), far events whose cycle has
+//! entered the window migrate into the ring in `(at, seq)` heap order.
+//! This maintains two invariants that make ordering trivial:
+//!
+//! 1. the far heap never holds an event inside the window, so any ring
+//!    event fires before any far event, and
+//! 2. a bucket receives its window cycle's events in seq order — far
+//!    events (older seqs, pushed before the window reached them) drain in
+//!    first, then later same-cycle pushes append FIFO.
+//!
+//! Within the window each bucket maps to exactly one absolute cycle, so
+//! buckets need no per-entry timestamps. Bucket entries live in one
+//! shared slab threaded by intrusive FIFO lists (per-bucket head/tail
+//! indices), so pushes and pops never allocate once the slab is warm —
+//! the queue's steady state is allocation-free.
 
 use crate::time::Cycle;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Near-window size in cycles. Must be a power of two. Sized to swallow
+/// TLB/walk/compute deltas; fault-batch service (≥28k cycles) overflows
+/// to the far heap, which is fine — there are only dozens of batches.
+const RING: u64 = 2048;
+const RING_MASK: u64 = RING - 1;
+/// Occupancy bitmap words (64 buckets per word).
+const WORDS: usize = (RING / 64) as usize;
+/// Null slab index for the intrusive bucket lists.
+const NIL: u32 = u32::MAX;
+
+/// One slab cell: an event threaded into a bucket's FIFO list, or a
+/// free-list link when vacant (`event == None`).
+struct Node<E> {
+    event: Option<E>,
+    next: u32,
+}
 
 struct Entry<E> {
     at: Cycle,
@@ -51,7 +97,19 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Per-bucket FIFO list heads/tails into `slab`; bucket
+    /// `at & RING_MASK` holds the events for the single window cycle
+    /// that maps there.
+    heads: Vec<u32>,
+    tails: Vec<u32>,
+    /// Shared cell storage for all buckets, plus a free list.
+    slab: Vec<Node<E>>,
+    free: u32,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// Events scheduled at `now + RING` or later, plus their seqs.
+    far: BinaryHeap<Entry<E>>,
+    ring_len: usize,
     next_seq: u64,
     now: Cycle,
 }
@@ -67,7 +125,13 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heads: vec![NIL; RING as usize],
+            tails: vec![NIL; RING as usize],
+            slab: Vec::new(),
+            free: NIL,
+            occupied: [0; WORDS],
+            far: BinaryHeap::new(),
+            ring_len: 0,
             next_seq: 0,
             now: Cycle::ZERO,
         }
@@ -86,7 +150,11 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        if at.0 - self.now.0 < RING {
+            self.bucket_push(at, event);
+        } else {
+            self.far.push(Entry { at, seq, event });
+        }
     }
 
     /// Schedule `event` to fire `delta` cycles from the current time.
@@ -96,16 +164,33 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event, advancing the queue's notion of "now".
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let entry = self.heap.pop()?;
+        if self.ring_len > 0 {
+            let idx = self.next_bucket().expect("ring_len > 0 has a bucket");
+            let at = self.bucket_cycle(idx);
+            let event = self.bucket_pop(idx);
+            debug_assert!(at >= self.now);
+            self.now = at;
+            self.drain_far();
+            return Some((at, event));
+        }
+        // Ring empty: the far minimum is the global minimum (heap order
+        // breaks same-cycle ties by seq).
+        let entry = self.far.pop()?;
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
+        self.drain_far();
         Some((entry.at, entry.event))
     }
 
     /// Timestamp of the next event without popping it.
     #[must_use]
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.at)
+        if self.ring_len > 0 {
+            // Ring events always precede far events (invariant: the far
+            // heap holds nothing inside the window).
+            return self.next_bucket().map(|idx| self.bucket_cycle(idx));
+        }
+        self.far.peek().map(|e| e.at)
     }
 
     /// Simulated time of the most recently popped event.
@@ -117,13 +202,98 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_len + self.far.len()
     }
 
     /// True when no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Append to the bucket for window cycle `at`, marking it occupied.
+    fn bucket_push(&mut self, at: Cycle, event: E) {
+        let idx = (at.0 & RING_MASK) as usize;
+        let cell = if self.free != NIL {
+            let cell = self.free;
+            let node = &mut self.slab[cell as usize];
+            self.free = node.next;
+            node.event = Some(event);
+            node.next = NIL;
+            cell
+        } else {
+            let cell = u32::try_from(self.slab.len()).expect("slab index fits u32");
+            self.slab.push(Node {
+                event: Some(event),
+                next: NIL,
+            });
+            cell
+        };
+        if self.heads[idx] == NIL {
+            self.heads[idx] = cell;
+        } else {
+            self.slab[self.tails[idx] as usize].next = cell;
+        }
+        self.tails[idx] = cell;
+        self.occupied[idx / 64] |= 1 << (idx % 64);
+        self.ring_len += 1;
+    }
+
+    /// Pop the front of bucket `idx`, clearing its bit when it empties.
+    fn bucket_pop(&mut self, idx: usize) -> E {
+        let cell = self.heads[idx];
+        debug_assert_ne!(cell, NIL, "pop from empty bucket");
+        let node = &mut self.slab[cell as usize];
+        let event = node.event.take().expect("occupied cell");
+        self.heads[idx] = node.next;
+        node.next = self.free;
+        self.free = cell;
+        if self.heads[idx] == NIL {
+            self.tails[idx] = NIL;
+            self.occupied[idx / 64] &= !(1 << (idx % 64));
+        }
+        self.ring_len -= 1;
+        event
+    }
+
+    /// Absolute cycle of occupied bucket `idx`: the unique cycle in
+    /// `[now, now + RING)` congruent to `idx` mod `RING`.
+    fn bucket_cycle(&self, idx: usize) -> Cycle {
+        let offset = (idx as u64).wrapping_sub(self.now.0) & RING_MASK;
+        Cycle(self.now.0 + offset)
+    }
+
+    /// First occupied bucket in circular window order starting at `now`.
+    fn next_occupied_from(&self, start: usize) -> Option<usize> {
+        let (mut word, bit) = (start / 64, start % 64);
+        // Partial first word: only bits at or after `start`.
+        let mut bits = self.occupied[word] & (u64::MAX << bit);
+        for _ in 0..=WORDS {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word = (word + 1) % WORDS;
+            bits = self.occupied[word];
+        }
+        None
+    }
+
+    fn next_bucket(&self) -> Option<usize> {
+        self.next_occupied_from((self.now.0 & RING_MASK) as usize)
+    }
+
+    /// Migrate far events whose cycle has entered the window. Called
+    /// after every advance of `now`, *before* control returns to event
+    /// handlers, so drained (older-seq) events land ahead of any
+    /// same-cycle pushes the handlers make — preserving global FIFO.
+    fn drain_far(&mut self) {
+        while let Some(top) = self.far.peek() {
+            if top.at.0 - self.now.0 >= RING {
+                break;
+            }
+            let entry = self.far.pop().expect("peeked");
+            self.bucket_push(entry.at, entry.event);
+        }
     }
 }
 
@@ -211,8 +381,8 @@ mod tests {
 
     #[test]
     fn large_interleaved_workload_stays_sorted() {
-        // Deterministic pseudo-random schedule; ensures heap discipline
-        // under thousands of events.
+        // Deterministic pseudo-random schedule; ensures queue discipline
+        // under thousands of events spanning both tiers.
         let mut q = EventQueue::new();
         let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
         for i in 0..5000u64 {
@@ -229,5 +399,94 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 5000);
+    }
+
+    #[test]
+    fn far_events_cross_the_window_boundary() {
+        // An event exactly at now + RING goes far, then drains into the
+        // ring once the clock reaches its window; FIFO survives the move.
+        let mut q = EventQueue::new();
+        q.push(Cycle(RING), 1); // far tier (boundary)
+        q.push(Cycle(RING - 1), 0); // ring tier
+        q.push(Cycle(RING), 2); // far tier, later seq
+        assert_eq!(q.pop(), Some((Cycle(RING - 1), 0)));
+        // Drained in seq order ahead of any new same-cycle push.
+        q.push(Cycle(RING), 3);
+        assert_eq!(q.pop(), Some((Cycle(RING), 1)));
+        assert_eq!(q.pop(), Some((Cycle(RING), 2)));
+        assert_eq!(q.pop(), Some((Cycle(RING), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ring_wraparound_is_ordered() {
+        // Pushes that wrap the ring index (at & MASK < now & MASK) must
+        // still pop in time order.
+        let mut q = EventQueue::new();
+        q.push(Cycle(RING - 2), 0);
+        q.pop();
+        q.push(Cycle(RING + 5), 2); // wraps to low bucket index
+        q.push(Cycle(RING - 1), 1); // high bucket index, earlier time
+        assert_eq!(q.pop(), Some((Cycle(RING - 1), 1)));
+        assert_eq!(q.pop(), Some((Cycle(RING + 5), 2)));
+    }
+
+    #[test]
+    fn matches_reference_heap_under_random_schedules() {
+        // Model-based check: the calendar queue must pop the exact
+        // (cycle, payload) sequence a plain BinaryHeap reference does,
+        // including FIFO tie-breaks, under an adversarial mix of
+        // short/long deltas and same-cycle reschedules.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut x: u64 = 0xD1B5_4A32_D192_ED03;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut q = EventQueue::new();
+        let mut reference: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut pending = 0usize;
+        let schedule = |q: &mut EventQueue<u64>,
+                        reference: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                        seq: &mut u64,
+                        now: u64,
+                        r: u64| {
+            // Mix: mostly small deltas, some at the window edge, some far.
+            let delta = match r % 10 {
+                0..=5 => r % 16,
+                6 | 7 => 150 + r % 600,
+                8 => RING - 2 + r % 4,
+                _ => 28_000 + r % 7_000,
+            };
+            q.push(Cycle(now + delta), *seq);
+            reference.push(Reverse((now + delta, *seq)));
+            *seq += 1;
+        };
+        for _ in 0..200 {
+            schedule(&mut q, &mut reference, &mut seq, 0, step());
+            pending += 1;
+        }
+        let mut popped = 0u64;
+        while pending > 0 {
+            let (t, got) = q.pop().expect("pending events");
+            let Reverse((rt, rseq)) = reference.pop().expect("reference pending");
+            assert_eq!((t.0, got), (rt, rseq), "divergence at pop {popped}");
+            pending -= 1;
+            popped += 1;
+            // Handlers reschedule: keep the queue busy for a while.
+            if popped < 5_000 {
+                let n = step() % 3;
+                for _ in 0..n {
+                    schedule(&mut q, &mut reference, &mut seq, t.0, step());
+                    pending += 1;
+                }
+            }
+        }
+        assert!(popped >= 200);
+        assert!(q.is_empty());
     }
 }

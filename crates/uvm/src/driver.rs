@@ -314,6 +314,17 @@ pub struct UvmDriver {
     /// Latest DMA completion charged by the current batch (eviction
     /// write-backs can land after the last migration).
     batch_dma_end: Cycle,
+    /// Reusable [`BatchResult`] buffers, refilled by
+    /// [`UvmDriver::recycle`]: once they reach their high-water marks,
+    /// steady-state batch service allocates nothing.
+    scratch_migrated: Vec<VirtPage>,
+    scratch_evicted: Vec<VirtPage>,
+    scratch_completions: Vec<(VirtPage, Cycle)>,
+    scratch_deferred: Vec<VirtPage>,
+    /// Reusable per-batch pinned-chunk set.
+    pinned_buf: FxHashSet<gmmu::types::ChunkId>,
+    /// Reusable per-fault prefetch-plan buffer.
+    plan_buf: Vec<VirtPage>,
     /// Driver-level counters.
     pub stats: DriverStats,
 }
@@ -372,6 +383,12 @@ impl UvmDriver {
             tracer: Tracer::disabled(),
             batch_span: SpanId::NONE,
             batch_dma_end: Cycle::ZERO,
+            scratch_migrated: Vec::new(),
+            scratch_evicted: Vec::new(),
+            scratch_completions: Vec::new(),
+            scratch_deferred: Vec::new(),
+            pinned_buf: FxHashSet::default(),
+            plan_buf: Vec::new(),
             stats: DriverStats::default(),
         })
     }
@@ -558,7 +575,9 @@ impl UvmDriver {
         // (square wave of the current cycle) and queue overflow. A
         // disabled injector yields 1.0 / unlimited and draws no RNG.
         self.service_bw = self.injector.bandwidth_factor(now);
-        let (faults, deferred) = match self.injector.queue_depth() {
+        let mut deferred = std::mem::take(&mut self.scratch_deferred);
+        deferred.clear();
+        let faults = match self.injector.queue_depth() {
             Some(depth) if faults.len() > depth => {
                 self.stats.batch_splits += 1;
                 let cut = (faults.len() - depth) as u64;
@@ -568,9 +587,10 @@ impl UvmDriver {
                         deferred: cut as u32,
                     },
                 });
-                (&faults[..depth], faults[depth..].to_vec())
+                deferred.extend_from_slice(&faults[depth..]);
+                &faults[..depth]
             }
-            _ => (faults, Vec::new()),
+            _ => faults,
         };
         let mut base_cycles = self.cfg.fault_base_cycles;
         let spike = self.injector.batch_latency_factor();
@@ -582,12 +602,18 @@ impl UvmDriver {
             });
         }
 
-        let mut migrated: Vec<VirtPage> = Vec::new();
-        let mut evicted: Vec<VirtPage> = Vec::new();
-        let mut completions: Vec<(VirtPage, Cycle)> = Vec::new();
+        let mut migrated = std::mem::take(&mut self.scratch_migrated);
+        migrated.clear();
+        let mut evicted = std::mem::take(&mut self.scratch_evicted);
+        evicted.clear();
+        let mut completions = std::mem::take(&mut self.scratch_completions);
+        completions.clear();
         // Chunks whose migration this batch has planned or performed:
         // pinned against eviction for the duration of the batch.
-        let mut pinned: FxHashSet<gmmu::types::ChunkId> = FxHashSet::default();
+        let mut pinned = std::mem::take(&mut self.pinned_buf);
+        pinned.clear();
+        // Per-fault prefetch plan, reused across the batch.
+        let mut plan = std::mem::take(&mut self.plan_buf);
         let mut distinct = 0u64;
         let mut coalesced = 0u32;
         // Host-side processing cursor: the 20 µs far-fault round trip,
@@ -673,7 +699,8 @@ impl UvmDriver {
                 self.engine.note_memory_full();
             }
             self.engine.note_fault(fault);
-            let mut plan = self.engine.plan_prefetch(fault, xlat.page_table());
+            self.engine
+                .plan_prefetch_into(fault, xlat.page_table(), &mut plan);
 
             // A plan can never exceed the whole device memory; truncate
             // oversized plans but always keep the faulted page.
@@ -810,6 +837,9 @@ impl UvmDriver {
         }
         self.record_epoch(now);
 
+        self.pinned_buf = pinned;
+        self.plan_buf = plan;
+
         Ok(BatchResult {
             host_done,
             done_at,
@@ -819,6 +849,17 @@ impl UvmDriver {
             deferred,
             crashed: self.crashed,
         })
+    }
+
+    /// Return a consumed [`BatchResult`]'s buffers to the driver's
+    /// scratch pool, making the next [`UvmDriver::service_batch`]
+    /// allocation-free. Purely an optimisation: callers that drop
+    /// results instead simply pay fresh allocations next batch.
+    pub fn recycle(&mut self, r: BatchResult) {
+        self.scratch_migrated = r.migrated;
+        self.scratch_evicted = r.evicted;
+        self.scratch_completions = r.completions;
+        self.scratch_deferred = r.deferred;
     }
 
     /// Thrash-death detection (Fig. 4: MVT/BIC die in the baseline): the
