@@ -114,6 +114,37 @@ impl RunResult {
     pub fn survived(&self) -> bool {
         matches!(self.outcome, Outcome::Completed | Outcome::Degraded)
     }
+
+    /// A synthetic result for a cell whose *worker* failed — a panic
+    /// caught by the sweep executor, or a lease that expired past its
+    /// retry budget — as opposed to a simulation that ran and thrashed
+    /// to death. All counters are zero; `outcome` is [`Outcome::Crashed`]
+    /// and `error` carries the failure, so the cell shows up as an 'X'
+    /// in reports instead of silently vanishing from the result map.
+    #[must_use]
+    pub fn failed(error: impl Into<String>) -> RunResult {
+        RunResult {
+            outcome: Outcome::Crashed,
+            cycles: 0,
+            accesses: 0,
+            engine: EngineStats::default(),
+            driver: DriverStats::default(),
+            translation: TranslationStats::default(),
+            bytes_h2d: 0,
+            bytes_d2h: 0,
+            wrong_evictions: 0,
+            overhead: OverheadSnapshot::default(),
+            mhpe: None,
+            pattern_buffer_len: 0,
+            timeline: Vec::new(),
+            frames_capacity: 0,
+            frames_free: 0,
+            resident_pages: 0,
+            injection: InjectionStats::default(),
+            error: Some(error.into()),
+            telemetry: None,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

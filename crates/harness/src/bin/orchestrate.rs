@@ -1,0 +1,251 @@
+//! Crash-safe sweep service. Expands an experiment matrix into
+//! fingerprinted cells, runs them under the leased orchestrator, and
+//! (with `--store`) journals every resolved cell so a killed run
+//! resumes where it left off. Usage:
+//!
+//! ```text
+//! cargo run --release -p harness --bin orchestrate -- \
+//!     [--apps STN,MRQ|all] [--policies baseline,cppe] [--rates 50,75] \
+//!     [--seeds 12648430] [--scale X] [--threads N] \
+//!     [--store DIR] [--resume] [--salvage] [--compact] \
+//!     [--lease-ms N] [--max-attempts N] [--backoff-ms N] \
+//!     [--max-in-flight N] [--chaos-seed N] [--stop-after N]
+//! ```
+//!
+//! `--resume` is required to reuse a store that already holds results
+//! (already-computed fingerprints are skipped, not re-run); `--salvage`
+//! truncates a torn journal to its valid prefix instead of refusing to
+//! open it. `--chaos-seed` arms the deterministic kill/panic/delay
+//! storm (for exercising the machinery); `--stop-after N` aborts after
+//! N cells resolve, simulating a kill for resume drills.
+
+use harness::orchestrator::{
+    orchestrate, parse_policy, render_report, CellSpec, LeaseConfig, OrchChaos, OrchestratorConfig,
+    Recovery, ResultStore,
+};
+use harness::runner::ExpConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Cli {
+    cells: Vec<CellSpec>,
+    cfg: OrchestratorConfig,
+    store: Option<PathBuf>,
+    resume: bool,
+    recovery: Recovery,
+}
+
+fn parse_list(raw: &str) -> Vec<&str> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn take<'a>(args: &'a [String], i: &mut usize, what: &str) -> &'a str {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .unwrap_or_else(|| panic!("{what} needs a value"))
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_cli(args: &[String]) -> Cli {
+    let mut exp = ExpConfig::default();
+    let mut threads = 0usize;
+    let mut apps: Vec<String> = vec!["STN".into(), "MRQ".into()];
+    let mut policies: Vec<String> = vec!["baseline".into(), "cppe".into()];
+    let mut rates: Vec<f64> = vec![0.5, 0.75];
+    let mut seeds: Vec<u64> = vec![exp.seed];
+    let mut lease = LeaseConfig::default();
+    let mut chaos = None;
+    let mut stop_after = None;
+    let mut compact = false;
+    let mut store = None;
+    let mut resume = false;
+    let mut recovery = Recovery::Strict;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].clone().as_str() {
+            "--quick" => exp = ExpConfig::quick(),
+            "--scale" => {
+                exp.scale = take(args, &mut i, "--scale")
+                    .parse()
+                    .expect("--scale needs a number");
+            }
+            "--threads" => {
+                threads = take(args, &mut i, "--threads")
+                    .parse()
+                    .expect("--threads needs a number");
+            }
+            "--apps" => {
+                let raw = take(args, &mut i, "--apps");
+                apps = if raw == "all" {
+                    workloads::registry::all()
+                        .iter()
+                        .map(|s| s.abbr.to_string())
+                        .collect()
+                } else {
+                    parse_list(raw).iter().map(|s| (*s).to_string()).collect()
+                };
+            }
+            "--policies" => {
+                policies = parse_list(take(args, &mut i, "--policies"))
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect();
+            }
+            "--rates" => {
+                rates = parse_list(take(args, &mut i, "--rates"))
+                    .iter()
+                    .map(|s| {
+                        let pct: f64 = s.parse().expect("--rates needs percents, e.g. 50,75");
+                        pct / 100.0
+                    })
+                    .collect();
+            }
+            "--seeds" => {
+                seeds = parse_list(take(args, &mut i, "--seeds"))
+                    .iter()
+                    .map(|s| s.parse().expect("--seeds needs integers"))
+                    .collect();
+            }
+            "--store" => store = Some(PathBuf::from(take(args, &mut i, "--store"))),
+            "--resume" => resume = true,
+            "--salvage" => recovery = Recovery::Salvage,
+            "--compact" => compact = true,
+            "--lease-ms" => {
+                lease.lease = Duration::from_millis(
+                    take(args, &mut i, "--lease-ms")
+                        .parse()
+                        .expect("--lease-ms needs millis"),
+                );
+            }
+            "--max-attempts" => {
+                lease.max_attempts = take(args, &mut i, "--max-attempts")
+                    .parse()
+                    .expect("--max-attempts needs a number");
+            }
+            "--backoff-ms" => {
+                lease.backoff = Duration::from_millis(
+                    take(args, &mut i, "--backoff-ms")
+                        .parse()
+                        .expect("--backoff-ms needs millis"),
+                );
+            }
+            "--max-in-flight" => {
+                lease.max_in_flight = take(args, &mut i, "--max-in-flight")
+                    .parse()
+                    .expect("--max-in-flight needs a number");
+            }
+            "--chaos-seed" => {
+                chaos = Some(OrchChaos::storm(
+                    take(args, &mut i, "--chaos-seed")
+                        .parse()
+                        .expect("--chaos-seed needs a number"),
+                ));
+            }
+            "--stop-after" => {
+                stop_after = Some(
+                    take(args, &mut i, "--stop-after")
+                        .parse()
+                        .expect("--stop-after needs a number"),
+                );
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 1;
+    }
+
+    let mut cells = Vec::new();
+    for app in &apps {
+        let spec = workloads::registry::by_abbr(app)
+            .unwrap_or_else(|| panic!("unknown workload {app:?} (try --apps all)"));
+        for policy in &policies {
+            let preset =
+                parse_policy(policy).unwrap_or_else(|| panic!("unknown policy label {policy:?}"));
+            for &rate in &rates {
+                for &seed in &seeds {
+                    cells.push(CellSpec {
+                        spec: spec.clone(),
+                        preset,
+                        rate,
+                        seed,
+                        scale: exp.scale,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut cfg = OrchestratorConfig::new(exp);
+    cfg.threads = threads;
+    cfg.lease = lease;
+    cfg.chaos = chaos;
+    cfg.stop_after = stop_after;
+    cfg.compact_on_finish = compact;
+    Cli {
+        cells,
+        cfg,
+        store,
+        resume,
+        recovery,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args);
+    let t0 = std::time::Instant::now();
+
+    let mut store = cli.store.as_ref().map(|dir| {
+        let (store, report) = match ResultStore::open(dir, cli.recovery) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[orchestrate] cannot open store {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        };
+        if let Some(s) = &report.salvaged {
+            eprintln!(
+                "[orchestrate] salvaged journal: dropped {} bytes at line {} ({})",
+                s.dropped_bytes, s.line, s.reason
+            );
+        }
+        if !store.is_empty() {
+            if cli.resume {
+                eprintln!(
+                    "[orchestrate] resuming: {} cells already in store \
+                     ({} snapshot + {} journal, {} duplicate lines)",
+                    store.len(),
+                    report.from_snapshot,
+                    report.from_journal,
+                    report.duplicate_lines
+                );
+            } else {
+                eprintln!(
+                    "[orchestrate] store {} already holds {} cells; \
+                     pass --resume to continue it or point --store at a fresh dir",
+                    dir.display(),
+                    store.len()
+                );
+                std::process::exit(2);
+            }
+        }
+        store
+    });
+
+    let outcome = orchestrate(cli.cells, store.as_mut(), &cli.cfg);
+    let report = render_report(&outcome);
+    println!("{report}");
+    eprintln!("[orchestrate] completed in {:.1?}", t0.elapsed());
+    match harness::report::save("orchestrate.txt", &report) {
+        Ok(path) => eprintln!("[orchestrate] saved to {}", path.display()),
+        Err(e) => eprintln!("[orchestrate] could not save results: {e}"),
+    }
+    if outcome.stopped_early {
+        eprintln!("[orchestrate] stopped early (--stop-after); rerun with --resume to finish");
+        std::process::exit(3);
+    }
+}

@@ -223,7 +223,7 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
     let runs: Vec<AuditedRun> = APPS.iter().map(|a| run_audited(cfg, a)).collect();
     let doc = audit_json(&runs);
     let _ = save("BENCH_audit.json", &doc);
-    let _ = std::fs::write("BENCH_audit.json", &doc);
+    let _ = telemetry::export::write_atomic(std::path::Path::new("BENCH_audit.json"), &doc);
     for a in &runs {
         let _ = save(
             &format!("audit_{}_lifetime.csv", a.app),

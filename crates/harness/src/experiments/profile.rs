@@ -225,7 +225,7 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
     let runs: Vec<ProfiledRun> = APPS.iter().map(|a| run_profiled(cfg, a)).collect();
     let doc = profile_json(&runs);
     let _ = save("BENCH_profile.json", &doc);
-    let _ = std::fs::write("BENCH_profile.json", &doc);
+    let _ = telemetry::export::write_atomic(std::path::Path::new("BENCH_profile.json"), &doc);
 
     let mut out = format!(
         "Profile (extension) — fault-lifecycle latency attribution under\n\

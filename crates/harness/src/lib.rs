@@ -6,6 +6,8 @@
 //!
 //! * [`runner`] — one (workload × policy × rate) cell,
 //! * [`sweep`] — the parallel sweep executor,
+//! * [`orchestrator`] — the crash-safe sweep service (leased work
+//!   queue, persistent result store, checkpoint/resume, chaos),
 //! * [`report`] — text/CSV table rendering,
 //! * [`opt`] — the offline Belady chunk-fault bound,
 //! * [`oracle`] — the decision-audit comparator against that bound,
@@ -14,6 +16,7 @@
 pub mod experiments;
 pub mod opt;
 pub mod oracle;
+pub mod orchestrator;
 pub mod report;
 pub mod runner;
 pub mod sweep;

@@ -1,0 +1,136 @@
+//! Orchestrator-level chaos: deterministic worker kills, per-cell
+//! panics, and per-cell delays.
+//!
+//! Same philosophy as the PR 1 simulator fault injector: every decision
+//! is a pure function of `(seed, fingerprint, attempt)`, so a chaos run
+//! is exactly reproducible and a test can assert the *final result set*
+//! is bit-identical to a clean serial run. Injections only fire while
+//! `attempt <= chaos_attempts`; with `chaos_attempts` below the queue's
+//! retry budget, every tortured cell is guaranteed to converge — the
+//! storm proves the machinery loses nothing, not that some cells were
+//! expendable.
+
+use sim_core::rng::SplitMix64;
+use sim_core::Fingerprint;
+use std::time::Duration;
+
+/// Deterministic chaos plan.
+#[derive(Debug, Clone, Copy)]
+pub struct OrchChaos {
+    /// Base seed; every decision derives from it.
+    pub seed: u64,
+    /// Percent chance a worker *dies* (thread exits, lease left to
+    /// expire) on claiming a cell.
+    pub kill_worker_pct: u8,
+    /// Percent chance a cell's execution panics.
+    pub panic_pct: u8,
+    /// Percent chance of a pre-execution stall of [`OrchChaos::delay`].
+    pub delay_pct: u8,
+    /// The injected stall length.
+    pub delay: Duration,
+    /// Attempts (1-based) that injections may touch; later attempts
+    /// always run clean so the sweep converges.
+    pub chaos_attempts: u32,
+}
+
+impl OrchChaos {
+    /// The full storm: kills, panics and delays at once.
+    #[must_use]
+    pub fn storm(seed: u64) -> Self {
+        OrchChaos {
+            seed,
+            kill_worker_pct: 20,
+            panic_pct: 25,
+            delay_pct: 20,
+            delay: Duration::from_millis(5),
+            chaos_attempts: 1,
+        }
+    }
+
+    /// Panics only (for targeted retry tests).
+    #[must_use]
+    pub fn panics_only(seed: u64, pct: u8, chaos_attempts: u32) -> Self {
+        OrchChaos {
+            seed,
+            kill_worker_pct: 0,
+            panic_pct: pct,
+            delay_pct: 0,
+            delay: Duration::ZERO,
+            chaos_attempts,
+        }
+    }
+
+    /// One deterministic percent roll in `[0, 100)` per
+    /// `(domain, fingerprint, attempt)`.
+    fn roll(&self, domain: u64, fp: &str, attempt: u32) -> u64 {
+        let mut key = Fingerprint::new();
+        key.push_u64(self.seed);
+        key.push_u64(domain);
+        key.push_str(fp);
+        key.push_u64(u64::from(attempt));
+        SplitMix64::new(key.finish()).next_u64() % 100
+    }
+
+    fn armed(&self, attempt: u32) -> bool {
+        attempt <= self.chaos_attempts
+    }
+
+    /// Should the worker claiming this lease die?
+    #[must_use]
+    pub fn should_kill_worker(&self, fp: &str, attempt: u32) -> bool {
+        self.armed(attempt) && self.roll(1, fp, attempt) < u64::from(self.kill_worker_pct)
+    }
+
+    /// Should this execution panic?
+    #[must_use]
+    pub fn should_panic(&self, fp: &str, attempt: u32) -> bool {
+        self.armed(attempt) && self.roll(2, fp, attempt) < u64::from(self.panic_pct)
+    }
+
+    /// Pre-execution stall, if any.
+    #[must_use]
+    pub fn delay_for(&self, fp: &str, attempt: u32) -> Option<Duration> {
+        (self.armed(attempt) && self.roll(3, fp, attempt) < u64::from(self.delay_pct))
+            .then_some(self.delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = OrchChaos::storm(7);
+        let b = OrchChaos::storm(7);
+        for fp in ["aaaa", "bbbb", "cccc"] {
+            assert_eq!(a.should_kill_worker(fp, 1), b.should_kill_worker(fp, 1));
+            assert_eq!(a.should_panic(fp, 1), b.should_panic(fp, 1));
+            assert_eq!(a.delay_for(fp, 1), b.delay_for(fp, 1));
+        }
+    }
+
+    #[test]
+    fn later_attempts_always_run_clean() {
+        let c = OrchChaos {
+            kill_worker_pct: 100,
+            panic_pct: 100,
+            delay_pct: 100,
+            ..OrchChaos::storm(3)
+        };
+        assert!(c.should_panic("x", 1));
+        assert!(c.should_kill_worker("x", 1));
+        assert!(!c.should_panic("x", 2));
+        assert!(!c.should_kill_worker("x", 2));
+        assert_eq!(c.delay_for("x", 2), None);
+    }
+
+    #[test]
+    fn storm_hits_some_cells_and_spares_others() {
+        let c = OrchChaos::storm(11);
+        let fps: Vec<String> = (0..64).map(|i| format!("{i:016x}")).collect();
+        let panics = fps.iter().filter(|fp| c.should_panic(fp, 1)).count();
+        assert!(panics > 0, "a 25% storm over 64 cells must hit something");
+        assert!(panics < 64, "and must not hit everything");
+    }
+}

@@ -1,0 +1,497 @@
+//! Leased work queue: the orchestrator's scheduling core.
+//!
+//! Every pending cell is handed to a worker under a **lease with a
+//! deadline**. A worker that panics, hangs past the deadline, or is
+//! killed never acknowledges its lease; the supervisor (or any other
+//! worker calling [`LeaseQueue::claim`]) expires it and the cell goes
+//! back to pending with a backoff — up to a bounded number of attempts,
+//! after which the cell is marked `Failed` with its last error. A cell
+//! therefore always ends in exactly one of two states, `Done` or
+//! `Failed`; nothing is ever silently dropped.
+//!
+//! The queue is a plain single-lock state machine (the caller wraps it
+//! in a `Mutex`): cells are claimed a few times per *second*, not per
+//! microsecond, so clarity beats lock-free cleverness here — unlike the
+//! simulator hot loops this orchestrates.
+
+use super::CellSpec;
+use std::time::{Duration, Instant};
+
+/// Lease/retry tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct LeaseConfig {
+    /// How long a worker may hold a cell before the lease expires.
+    pub lease: Duration,
+    /// Total attempts a cell gets (first run + retries) before it is
+    /// recorded as `Failed`.
+    pub max_attempts: u32,
+    /// Delay before an expired/panicked cell is re-issued.
+    pub backoff: Duration,
+    /// Cap on concurrently leased cells (pressure valve; claims beyond
+    /// it are told to wait even when workers are idle).
+    pub max_in_flight: usize,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            // Generous for real sweeps; chaos tests shrink it to
+            // milliseconds to force the expiry paths.
+            lease: Duration::from_secs(600),
+            max_attempts: 3,
+            backoff: Duration::from_millis(10),
+            max_in_flight: usize::MAX,
+        }
+    }
+}
+
+/// What a caller gets back from [`LeaseQueue::claim`].
+#[derive(Debug)]
+pub enum Claim {
+    /// A cell to execute under lease.
+    Lease(Lease),
+    /// Nothing claimable right now (backoffs pending, in-flight cap
+    /// hit, or leases outstanding) — retry after roughly this long.
+    Wait(Duration),
+    /// Every cell is `Done` or `Failed`; the pool can exit.
+    Drained,
+}
+
+/// One issued lease.
+#[derive(Debug, Clone)]
+pub struct Lease {
+    /// The cell to run.
+    pub spec: CellSpec,
+    /// Its config fingerprint (result-store key).
+    pub fp: String,
+    /// 1-based attempt number this lease represents.
+    pub attempt: u32,
+    /// Lease epoch: increments on every (re-)issue of this cell, so a
+    /// stale failure report from a superseded lease can be told apart
+    /// from the current one.
+    pub epoch: u32,
+}
+
+/// Verdict for a completion report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompleteVerdict {
+    /// First completion of this cell: record it.
+    Accepted {
+        /// Attempts the cell consumed (including this one).
+        attempts: u32,
+    },
+    /// The cell was already resolved (a slow worker finished after its
+    /// lease expired and the cell was re-run, or after it was marked
+    /// `Failed`): discard.
+    Stale,
+}
+
+/// Verdict for a failure (panic) report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailVerdict {
+    /// The cell was re-queued for another attempt.
+    Retry {
+        /// Attempts consumed so far.
+        attempt: u32,
+    },
+    /// The retry budget is spent; the cell is now `Failed`.
+    Exhausted {
+        /// Total attempts consumed.
+        attempts: u32,
+    },
+    /// The report came from a superseded lease (its epoch no longer
+    /// matches — the cell was already expired and re-issued): ignore.
+    Stale,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Pending,
+    Leased { deadline: Instant, epoch: u32 },
+    Done,
+    Failed { error: String },
+}
+
+#[derive(Debug)]
+struct Slot {
+    spec: CellSpec,
+    fp: String,
+    /// Attempts started (1-based after the first lease).
+    attempts: u32,
+    /// Earliest instant this slot may be (re-)leased.
+    not_before: Instant,
+    state: SlotState,
+    /// Monotonic lease counter for this slot.
+    epochs: u32,
+    /// Last failure message (panic text / expiry note).
+    last_error: Option<String>,
+}
+
+/// The leased work queue (wrap in a `Mutex` to share).
+#[derive(Debug)]
+pub struct LeaseQueue {
+    slots: Vec<Slot>,
+    cfg: LeaseConfig,
+    in_flight: usize,
+    /// Leases handed out.
+    pub issued: u64,
+    /// Leases that expired past their deadline.
+    pub expired: u64,
+    /// Re-issues after a panic or expiry.
+    pub retries: u64,
+}
+
+impl LeaseQueue {
+    /// Queue over `(cell, fingerprint)` pairs (fingerprints are
+    /// computed once by the orchestrator and reused everywhere).
+    #[must_use]
+    pub fn new(cells: Vec<(CellSpec, String)>, cfg: LeaseConfig, now: Instant) -> Self {
+        let slots = cells
+            .into_iter()
+            .map(|(spec, fp)| Slot {
+                spec,
+                fp,
+                attempts: 0,
+                not_before: now,
+                state: SlotState::Pending,
+                epochs: 0,
+                last_error: None,
+            })
+            .collect();
+        LeaseQueue {
+            slots,
+            cfg,
+            in_flight: 0,
+            issued: 0,
+            expired: 0,
+            retries: 0,
+        }
+    }
+
+    /// Expire overdue leases: each goes back to pending (with backoff)
+    /// or to `Failed` when its attempts are spent. Returns how many
+    /// expired. Called from `claim` and from the supervisor tick, so a
+    /// fleet of hung workers cannot stall expiry.
+    pub fn expire_overdue(&mut self, now: Instant) -> usize {
+        let mut n = 0;
+        for slot in &mut self.slots {
+            let SlotState::Leased { deadline, .. } = slot.state else {
+                continue;
+            };
+            if deadline > now {
+                continue;
+            }
+            n += 1;
+            self.expired += 1;
+            self.in_flight -= 1;
+            let err = format!(
+                "lease expired after {:?} (attempt {}/{})",
+                self.cfg.lease, slot.attempts, self.cfg.max_attempts
+            );
+            slot.last_error = Some(err.clone());
+            if slot.attempts >= self.cfg.max_attempts {
+                slot.state = SlotState::Failed { error: err };
+            } else {
+                slot.state = SlotState::Pending;
+                slot.not_before = now + self.cfg.backoff;
+            }
+        }
+        n
+    }
+
+    /// Claim the next runnable cell.
+    pub fn claim(&mut self, now: Instant) -> Claim {
+        self.expire_overdue(now);
+        if self.remaining() == 0 {
+            return Claim::Drained;
+        }
+        if self.in_flight < self.cfg.max_in_flight {
+            // Oldest-first scan: cells are few (thousands at most) and
+            // claims are rare, so O(n) is plenty.
+            let claimable = self
+                .slots
+                .iter()
+                .position(|s| matches!(s.state, SlotState::Pending) && s.not_before <= now);
+            if let Some(idx) = claimable {
+                let slot = &mut self.slots[idx];
+                slot.attempts += 1;
+                slot.epochs += 1;
+                if slot.attempts > 1 {
+                    self.retries += 1;
+                }
+                slot.state = SlotState::Leased {
+                    deadline: now + self.cfg.lease,
+                    epoch: slot.epochs,
+                };
+                self.in_flight += 1;
+                self.issued += 1;
+                return Claim::Lease(Lease {
+                    spec: slot.spec.clone(),
+                    fp: slot.fp.clone(),
+                    attempt: slot.attempts,
+                    epoch: slot.epochs,
+                });
+            }
+        }
+        // Nothing claimable yet: wait until the nearest backoff end or
+        // lease deadline (bounded below so a caller never busy-spins).
+        let next = self
+            .slots
+            .iter()
+            .filter_map(|s| match s.state {
+                SlotState::Pending => Some(s.not_before),
+                SlotState::Leased { deadline, .. } => Some(deadline),
+                _ => None,
+            })
+            .min();
+        let wait = next
+            .map(|t| t.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(1))
+            .max(Duration::from_millis(1));
+        Claim::Wait(wait)
+    }
+
+    /// Report a completed cell. Accepted whenever the cell is not yet
+    /// resolved — even from an expired lease (the computation is
+    /// deterministic, so a slow worker's result is as good as a
+    /// re-issued one's, and accepting it saves the re-run).
+    pub fn complete(&mut self, fp: &str) -> CompleteVerdict {
+        let Some(slot) = self.slots.iter_mut().find(|s| s.fp == fp) else {
+            return CompleteVerdict::Stale;
+        };
+        match slot.state {
+            SlotState::Done | SlotState::Failed { .. } => CompleteVerdict::Stale,
+            SlotState::Leased { .. } => {
+                self.in_flight -= 1;
+                slot.state = SlotState::Done;
+                CompleteVerdict::Accepted {
+                    attempts: slot.attempts,
+                }
+            }
+            SlotState::Pending => {
+                slot.state = SlotState::Done;
+                CompleteVerdict::Accepted {
+                    attempts: slot.attempts,
+                }
+            }
+        }
+    }
+
+    /// Report a failed attempt (contained panic). Only honoured from
+    /// the lease's current epoch — a superseded worker cannot burn the
+    /// re-issued attempt's budget.
+    pub fn fail_attempt(&mut self, fp: &str, epoch: u32, error: &str, now: Instant) -> FailVerdict {
+        let max_attempts = self.cfg.max_attempts;
+        let backoff = self.cfg.backoff;
+        let Some(slot) = self.slots.iter_mut().find(|s| s.fp == fp) else {
+            return FailVerdict::Stale;
+        };
+        match slot.state {
+            SlotState::Leased { epoch: e, .. } if e == epoch => {
+                self.in_flight -= 1;
+                slot.last_error = Some(error.to_string());
+                if slot.attempts >= max_attempts {
+                    slot.state = SlotState::Failed {
+                        error: error.to_string(),
+                    };
+                    FailVerdict::Exhausted {
+                        attempts: slot.attempts,
+                    }
+                } else {
+                    slot.state = SlotState::Pending;
+                    slot.not_before = now + backoff;
+                    FailVerdict::Retry {
+                        attempt: slot.attempts,
+                    }
+                }
+            }
+            _ => FailVerdict::Stale,
+        }
+    }
+
+    /// Cells not yet resolved (`Pending` or `Leased`).
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s.state, SlotState::Pending | SlotState::Leased { .. }))
+            .count()
+    }
+
+    /// Every cell that ended `Failed`, with its error and attempt
+    /// count — the orchestrator records these so no cell is ever
+    /// missing from the result set.
+    #[must_use]
+    pub fn failed_cells(&self) -> Vec<(CellSpec, String, String, u32)> {
+        self.slots
+            .iter()
+            .filter_map(|s| match &s.state {
+                SlotState::Failed { error } => {
+                    Some((s.spec.clone(), s.fp.clone(), error.clone(), s.attempts))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::CellSpec;
+    use super::*;
+    use cppe::presets::PolicyPreset;
+    use workloads::registry;
+
+    fn cells(n: usize) -> Vec<(CellSpec, String)> {
+        let spec = registry::by_abbr("STN").unwrap();
+        (0..n)
+            .map(|i| {
+                let c = CellSpec {
+                    spec: spec.clone(),
+                    preset: PolicyPreset::Baseline,
+                    rate: 0.5,
+                    seed: i as u64,
+                    scale: 0.25,
+                };
+                let fp = c.fingerprint();
+                (c, fp)
+            })
+            .collect()
+    }
+
+    fn cfg_ms(lease_ms: u64, max_attempts: u32) -> LeaseConfig {
+        LeaseConfig {
+            lease: Duration::from_millis(lease_ms),
+            max_attempts,
+            backoff: Duration::from_millis(0),
+            max_in_flight: usize::MAX,
+        }
+    }
+
+    #[test]
+    fn claims_then_drains() {
+        let now = Instant::now();
+        let mut q = LeaseQueue::new(cells(2), cfg_ms(1000, 3), now);
+        let Claim::Lease(a) = q.claim(now) else {
+            panic!("expected lease")
+        };
+        let Claim::Lease(b) = q.claim(now) else {
+            panic!("expected lease")
+        };
+        assert_ne!(a.fp, b.fp);
+        assert!(matches!(q.claim(now), Claim::Wait(_)));
+        assert_eq!(q.complete(&a.fp), CompleteVerdict::Accepted { attempts: 1 });
+        assert_eq!(q.complete(&b.fp), CompleteVerdict::Accepted { attempts: 1 });
+        assert!(matches!(q.claim(now), Claim::Drained));
+        assert_eq!(q.issued, 2);
+        assert_eq!(q.expired, 0);
+    }
+
+    #[test]
+    fn expiry_requeues_then_fails_with_error() {
+        let now = Instant::now();
+        let mut q = LeaseQueue::new(cells(1), cfg_ms(5, 2), now);
+        let Claim::Lease(l1) = q.claim(now) else {
+            panic!()
+        };
+        // Past the deadline: re-issued (attempt 2, new epoch).
+        let later = now + Duration::from_millis(6);
+        let Claim::Lease(l2) = q.claim(later) else {
+            panic!()
+        };
+        assert_eq!(l2.fp, l1.fp);
+        assert_eq!(l2.attempt, 2);
+        assert!(l2.epoch > l1.epoch);
+        assert_eq!(q.expired, 1);
+        assert_eq!(q.retries, 1);
+        // Second expiry exhausts the budget: Failed, never re-issued.
+        let even_later = later + Duration::from_millis(6);
+        assert!(matches!(q.claim(even_later), Claim::Drained));
+        let failed = q.failed_cells();
+        assert_eq!(failed.len(), 1);
+        assert!(failed[0].2.contains("lease expired"));
+        assert_eq!(failed[0].3, 2);
+    }
+
+    #[test]
+    fn late_completion_of_expired_lease_is_accepted_once() {
+        let now = Instant::now();
+        let mut q = LeaseQueue::new(cells(1), cfg_ms(5, 3), now);
+        let Claim::Lease(l1) = q.claim(now) else {
+            panic!()
+        };
+        let later = now + Duration::from_millis(6);
+        let Claim::Lease(_l2) = q.claim(later) else {
+            panic!()
+        };
+        // The original (slow) worker finishes first: accepted.
+        assert!(matches!(
+            q.complete(&l1.fp),
+            CompleteVerdict::Accepted { .. }
+        ));
+        // The re-issued worker finishes second: stale.
+        assert_eq!(q.complete(&l1.fp), CompleteVerdict::Stale);
+        assert!(matches!(q.claim(later), Claim::Drained));
+    }
+
+    #[test]
+    fn panic_retries_until_exhausted() {
+        let now = Instant::now();
+        let mut q = LeaseQueue::new(cells(1), cfg_ms(1000, 2), now);
+        let Claim::Lease(l1) = q.claim(now) else {
+            panic!()
+        };
+        assert_eq!(
+            q.fail_attempt(&l1.fp, l1.epoch, "boom", now),
+            FailVerdict::Retry { attempt: 1 }
+        );
+        let Claim::Lease(l2) = q.claim(now) else {
+            panic!()
+        };
+        assert_eq!(
+            q.fail_attempt(&l2.fp, l2.epoch, "boom again", now),
+            FailVerdict::Exhausted { attempts: 2 }
+        );
+        let failed = q.failed_cells();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].2, "boom again");
+    }
+
+    #[test]
+    fn stale_epoch_failure_is_ignored() {
+        let now = Instant::now();
+        let mut q = LeaseQueue::new(cells(1), cfg_ms(5, 3), now);
+        let Claim::Lease(l1) = q.claim(now) else {
+            panic!()
+        };
+        let later = now + Duration::from_millis(6);
+        let Claim::Lease(l2) = q.claim(later) else {
+            panic!()
+        };
+        // Old epoch's failure must not burn the new attempt's budget.
+        assert_eq!(
+            q.fail_attempt(&l1.fp, l1.epoch, "late panic", later),
+            FailVerdict::Stale
+        );
+        assert!(matches!(
+            q.fail_attempt(&l2.fp, l2.epoch, "real", later),
+            FailVerdict::Retry { .. }
+        ));
+    }
+
+    #[test]
+    fn max_in_flight_caps_leases() {
+        let now = Instant::now();
+        let cfg = LeaseConfig {
+            max_in_flight: 1,
+            ..cfg_ms(1000, 3)
+        };
+        let mut q = LeaseQueue::new(cells(2), cfg, now);
+        let Claim::Lease(a) = q.claim(now) else {
+            panic!()
+        };
+        assert!(matches!(q.claim(now), Claim::Wait(_)));
+        q.complete(&a.fp);
+        assert!(matches!(q.claim(now), Claim::Lease(_)));
+    }
+}

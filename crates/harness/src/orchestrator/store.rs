@@ -1,0 +1,296 @@
+//! Persistent, schema-versioned, append-only result store.
+//!
+//! Layout under the store directory:
+//!
+//! * `journal.jsonl` — one JSON object per line, appended (and synced)
+//!   as each cell resolves. The tail may be torn by a crash; recovery
+//!   salvages the valid prefix.
+//! * `snapshot.json` — periodic compaction of the journal, written via
+//!   tmp-file + atomic rename so it is always a complete document.
+//!
+//! On open, the snapshot loads first and the journal replays over it
+//! (first occurrence of a fingerprint wins — entries are immutable once
+//! recorded). [`ResultStore::compact`] folds the journal into a fresh
+//! snapshot and truncates it. Every entry carries the schema version
+//! ([`SCHEMA`](super::SCHEMA)); a store written by an incompatible
+//! schema is refused rather than half-read.
+
+use super::{CellEntry, SCHEMA};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use telemetry::json;
+
+/// How to react to a damaged journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Refuse to open: surface the damage as an error.
+    Strict,
+    /// Keep the valid prefix, truncate the damage (atomically), and
+    /// report what was dropped.
+    Salvage,
+}
+
+/// Store open/append errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A journal line that is not valid JSON / not a valid entry.
+    Corrupt {
+        /// 1-based journal line number.
+        line: usize,
+        /// Parser's description of the damage.
+        reason: String,
+    },
+    /// The snapshot (or a journal entry) was written by a different
+    /// schema version.
+    Schema {
+        /// The version string found.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "result store I/O error: {e}"),
+            StoreError::Corrupt { line, reason } => write!(
+                f,
+                "journal corrupt at line {line}: {reason} \
+                 (re-open with salvage to keep the valid prefix)"
+            ),
+            StoreError::Schema { found } => write!(
+                f,
+                "result store schema mismatch: found {found:?}, expected {SCHEMA:?} \
+                 (delete the store or rerun with the matching build)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// What a salvage dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// First damaged journal line (1-based).
+    pub line: usize,
+    /// Why it failed to parse.
+    pub reason: String,
+    /// Bytes truncated from the journal.
+    pub dropped_bytes: u64,
+}
+
+/// What `open` found on disk.
+#[derive(Debug, Clone, Default)]
+pub struct OpenReport {
+    /// Entries loaded from `snapshot.json`.
+    pub from_snapshot: usize,
+    /// Entries replayed from `journal.jsonl`.
+    pub from_journal: usize,
+    /// Duplicate-fingerprint journal lines skipped (first wins).
+    pub duplicate_lines: usize,
+    /// Damage found and truncated (salvage mode only).
+    pub salvaged: Option<SalvageReport>,
+}
+
+/// The persistent result store.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    journal: std::fs::File,
+    entries: BTreeMap<String, CellEntry>,
+    /// Lines appended by this process.
+    pub appends: u64,
+    /// Bytes appended by this process.
+    pub bytes_appended: u64,
+    /// Compactions performed by this process.
+    pub compactions: u64,
+}
+
+impl ResultStore {
+    fn journal_path(dir: &Path) -> PathBuf {
+        dir.join("journal.jsonl")
+    }
+
+    fn snapshot_path(dir: &Path) -> PathBuf {
+        dir.join("snapshot.json")
+    }
+
+    /// Open (creating if absent) the store under `dir`.
+    ///
+    /// # Errors
+    /// I/O failures; journal damage in [`Recovery::Strict`] mode; a
+    /// snapshot from another schema version in either mode.
+    pub fn open(dir: &Path, recovery: Recovery) -> Result<(Self, OpenReport), StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let mut report = OpenReport::default();
+        let mut entries = BTreeMap::new();
+
+        // 1. Snapshot (always a complete document thanks to the atomic
+        // rename; a torn snapshot can only mean foreign interference,
+        // which Strict and Salvage both refuse to guess around).
+        let snap_path = Self::snapshot_path(dir);
+        if let Ok(doc) = std::fs::read_to_string(&snap_path) {
+            let v = json::parse(&doc).map_err(|reason| StoreError::Corrupt { line: 0, reason })?;
+            let schema = v.get("schema").and_then(json::Value::as_str).unwrap_or("");
+            if schema != SCHEMA {
+                return Err(StoreError::Schema {
+                    found: schema.to_string(),
+                });
+            }
+            for cell in v
+                .get("cells")
+                .and_then(json::Value::as_array)
+                .unwrap_or(&[])
+            {
+                let entry = CellEntry::from_json(cell)
+                    .map_err(|reason| StoreError::Corrupt { line: 0, reason })?;
+                entries.insert(entry.fp.clone(), entry);
+                report.from_snapshot += 1;
+            }
+        }
+
+        // 2. Journal replay, salvaging or refusing on first damage.
+        let journal_path = Self::journal_path(dir);
+        let raw = std::fs::read_to_string(&journal_path).unwrap_or_default();
+        let mut valid_bytes = 0usize;
+        let mut damage: Option<(usize, String)> = None;
+        for (i, line) in raw.split_inclusive('\n').enumerate() {
+            let text = line.trim_end_matches('\n');
+            if text.trim().is_empty() {
+                valid_bytes += line.len();
+                continue;
+            }
+            let parsed = json::parse(text).and_then(|v| {
+                let ver = v.get("v").and_then(json::Value::as_str).unwrap_or("");
+                if ver != SCHEMA {
+                    return Err(format!("entry schema {ver:?}, expected {SCHEMA:?}"));
+                }
+                CellEntry::from_json(&v)
+            });
+            match parsed {
+                Ok(entry) => {
+                    if entries.contains_key(&entry.fp) {
+                        report.duplicate_lines += 1;
+                    } else {
+                        entries.insert(entry.fp.clone(), entry);
+                        report.from_journal += 1;
+                    }
+                    valid_bytes += line.len();
+                }
+                Err(reason) => {
+                    damage = Some((i + 1, reason));
+                    break;
+                }
+            }
+        }
+        if let Some((line, reason)) = damage {
+            match recovery {
+                Recovery::Strict => return Err(StoreError::Corrupt { line, reason }),
+                Recovery::Salvage => {
+                    let dropped_bytes = (raw.len() - valid_bytes) as u64;
+                    // Rewrite the journal to its valid prefix via the
+                    // same tmp+rename discipline as the snapshot.
+                    telemetry::export::write_atomic(&journal_path, &raw[..valid_bytes])?;
+                    report.salvaged = Some(SalvageReport {
+                        line,
+                        reason,
+                        dropped_bytes,
+                    });
+                }
+            }
+        }
+
+        let journal = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)?;
+        Ok((
+            ResultStore {
+                dir: dir.to_path_buf(),
+                journal,
+                entries,
+                appends: 0,
+                bytes_appended: 0,
+                compactions: 0,
+            },
+            report,
+        ))
+    }
+
+    /// Append one resolved cell. Returns `false` (writing nothing)
+    /// when the fingerprint is already present — entries are immutable
+    /// and duplicates would double-count on replay.
+    ///
+    /// # Errors
+    /// Underlying journal I/O.
+    pub fn append(&mut self, entry: CellEntry) -> std::io::Result<bool> {
+        if self.entries.contains_key(&entry.fp) {
+            return Ok(false);
+        }
+        let mut line = entry.to_json();
+        line.push('\n');
+        self.journal.write_all(line.as_bytes())?;
+        // One fsync per cell: cells take seconds of simulation each,
+        // so durability here is free relative to the work it protects.
+        self.journal.sync_data()?;
+        self.appends += 1;
+        self.bytes_appended += line.len() as u64;
+        self.entries.insert(entry.fp.clone(), entry);
+        Ok(true)
+    }
+
+    /// Fold everything into a fresh `snapshot.json` (atomic rename)
+    /// and truncate the journal.
+    ///
+    /// # Errors
+    /// Underlying I/O.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        let mut doc = format!("{{\"schema\":{},\"cells\":[", json::string(SCHEMA));
+        for (i, entry) in self.entries.values().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&entry.to_json());
+        }
+        doc.push_str("]}");
+        telemetry::export::write_atomic(&Self::snapshot_path(&self.dir), &doc)?;
+        // Snapshot is durable; the journal can restart empty. Truncate
+        // through a fresh handle, then swap the append handle over.
+        self.journal = std::fs::File::create(Self::journal_path(&self.dir))?;
+        self.compactions += 1;
+        Ok(())
+    }
+
+    /// Is this fingerprint already resolved?
+    #[must_use]
+    pub fn contains(&self, fp: &str) -> bool {
+        self.entries.contains_key(fp)
+    }
+
+    /// All resolved entries, keyed by fingerprint.
+    #[must_use]
+    pub fn entries(&self) -> &BTreeMap<String, CellEntry> {
+        &self.entries
+    }
+
+    /// Number of resolved entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is stored yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

@@ -111,12 +111,14 @@ pub fn loss_section(t: &telemetry::RunTelemetry) -> String {
 }
 
 /// Write `content` under `results/<name>` (best-effort; the text is
-/// always also printed by the binaries).
+/// always also printed by the binaries). Written via tmp-file + atomic
+/// rename so a killed binary leaves either the previous artifact or
+/// the new one — never a torn half-file a CI diff would misread.
 pub fn save(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(name);
-    std::fs::write(&path, content)?;
+    telemetry::export::write_atomic(&path, content)?;
     Ok(path)
 }
 

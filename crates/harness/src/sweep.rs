@@ -1,17 +1,20 @@
 //! Parallel sweep executor.
 //!
 //! The evaluation matrix (23 workloads × policies × 2 rates) is
-//! embarrassingly parallel; jobs are claimed from a shared slice by
-//! `std::thread::scope` workers through a lock-free atomic cursor, and
-//! results come back keyed by `(workload, policy-label, rate)` for
-//! deterministic assembly.
+//! embarrassingly parallel. Since the orchestrator PR this is a thin
+//! front-end over [`crate::orchestrator`]: jobs become fingerprinted
+//! cells, workers hold leases (so a panicking cell is retried and then
+//! recorded as failed instead of aborting the whole sweep), and results
+//! come back keyed by `(workload, policy-label, rate)` for
+//! deterministic assembly. The experiment binaries keep their
+//! fire-and-forget in-memory view; the `orchestrate` binary adds the
+//! persistent store and `--resume` on the same machinery.
 
-use crate::runner::{run_cell, ExpConfig};
+use crate::orchestrator::{orchestrate_with, CellSpec, OrchestratorConfig};
+use crate::runner::ExpConfig;
 use cppe::presets::PolicyPreset;
 use gpu::RunResult;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use workloads::WorkloadSpec;
 
 /// Key identifying one cell: `(workload abbr, policy label, rate in %)`.
@@ -38,48 +41,79 @@ impl Job {
             (self.rate * 100.0).round() as u32,
         )
     }
+
+    /// Lift this job into an orchestrator cell under `cfg`'s
+    /// seed/scale.
+    #[must_use]
+    pub fn to_cell(&self, cfg: &ExpConfig) -> CellSpec {
+        CellSpec {
+            spec: self.spec.clone(),
+            preset: self.preset,
+            rate: self.rate,
+            seed: cfg.seed,
+            scale: cfg.scale,
+        }
+    }
 }
 
 /// Run all jobs, using up to `threads` workers (0 = available
 /// parallelism). Results are keyed deterministically regardless of
 /// completion order.
+///
+/// A cell whose execution panics no longer takes the sweep down: the
+/// panic is contained, the cell retried (the queue's bounded-retry
+/// budget), and on exhaustion recorded as a [`gpu::Outcome::Crashed`]
+/// result carrying the panic message — reports render it as a crashed
+/// cell like any simulator-detected livelock.
 #[must_use]
 pub fn run_sweep(jobs: Vec<Job>, cfg: &ExpConfig, threads: usize) -> BTreeMap<CellKey, RunResult> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
-    } else {
-        threads
+    let exp = *cfg;
+    run_sweep_with(jobs, cfg, threads, move |job| job.to_cell(&exp).run(&exp))
+}
+
+/// [`run_sweep`] with an injected per-job executor — the
+/// panic-containment tests substitute a deliberately crashing
+/// "simulator" here.
+#[must_use]
+pub fn run_sweep_with<F>(
+    jobs: Vec<Job>,
+    cfg: &ExpConfig,
+    threads: usize,
+    exec: F,
+) -> BTreeMap<CellKey, RunResult>
+where
+    F: Fn(&Job) -> RunResult + Sync,
+{
+    let cells: Vec<CellSpec> = jobs.iter().map(|j| j.to_cell(cfg)).collect();
+    let mut ocfg = OrchestratorConfig::new(*cfg);
+    ocfg.threads = threads;
+    let mut out = orchestrate_with(cells, None, &ocfg, |cell| {
+        let job = Job {
+            spec: cell.spec.clone(),
+            preset: cell.preset,
+            rate: cell.rate,
+        };
+        exec(&job)
+    });
+
+    let mut results = BTreeMap::new();
+    for entry in out.entries.values() {
+        let key = (entry.app.clone(), entry.policy.clone(), entry.rate_pct);
+        let result = match out.full.remove(&entry.fp) {
+            Some(r) => r,
+            // Terminal worker failure (panic/lease exhaustion): a
+            // synthesized crashed result so the cell still shows up.
+            None => RunResult::failed(
+                entry
+                    .record
+                    .error
+                    .clone()
+                    .unwrap_or_else(|| "worker failed".to_string()),
+            ),
+        };
+        results.insert(key, result);
     }
-    .min(jobs.len().max(1));
-
-    // The work queue is a shared cursor over the job slice: each worker
-    // claims the next unclaimed index with one `fetch_add` — no mutex to
-    // contend on or poison. Claim order varies between runs, but every
-    // cell is simulated independently and results are *keyed*, so the
-    // assembled map is identical for any thread count.
-    let jobs = &jobs[..];
-    let cursor = AtomicUsize::new(0);
-    let (res_tx, res_rx) = mpsc::channel::<(CellKey, RunResult)>();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let cursor = &cursor;
-            let res_tx = res_tx.clone();
-            scope.spawn(move || loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(idx) else {
-                    break;
-                };
-                let key = job.key();
-                let result = run_cell(&job.spec, job.preset, job.rate, cfg);
-                if res_tx.send((key, result)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(res_tx);
-        res_rx.iter().collect()
-    })
+    results
 }
 
 /// Convenience: cross `specs × presets × rates` into jobs.
@@ -103,6 +137,8 @@ pub fn cross(specs: &[WorkloadSpec], presets: &[PolicyPreset], rates: &[f64]) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_cell;
+    use gpu::Outcome;
     use workloads::registry;
 
     #[test]
@@ -140,10 +176,10 @@ mod tests {
 
     #[test]
     fn thread_count_does_not_change_results() {
-        // The atomic-cursor queue hands out jobs in racy claim order;
-        // the assembled result map must not depend on it. Run the same
-        // small matrix single-threaded and with 8 workers and compare
-        // every cell's observable counters.
+        // Leases hand out cells in racy claim order; the assembled
+        // result map must not depend on it. Run the same small matrix
+        // single-threaded and with 8 workers and compare every cell's
+        // observable counters.
         let specs = vec![
             registry::by_abbr("STN").unwrap(),
             registry::by_abbr("MRQ").unwrap(),
@@ -174,5 +210,33 @@ mod tests {
             );
             assert_eq!(a.bytes_h2d, b.bytes_h2d, "{key:?}: h2d bytes diverged");
         }
+    }
+
+    #[test]
+    fn panicking_cell_yields_failed_result_not_aborted_sweep() {
+        // Regression: pre-orchestrator, one panicking cell unwound a
+        // scoped worker and aborted the whole sweep. Now the panic is
+        // contained, retried to exhaustion, and surfaced as a Crashed
+        // cell while every other cell completes normally.
+        let specs = vec![
+            registry::by_abbr("STN").unwrap(),
+            registry::by_abbr("MRQ").unwrap(),
+        ];
+        let jobs = cross(&specs, &[PolicyPreset::Baseline], &[0.5]);
+        let cfg = ExpConfig::quick();
+        let results = run_sweep_with(jobs, &cfg, 2, |job| {
+            assert!(job.spec.abbr != "MRQ", "deliberate test panic: MRQ cell");
+            run_cell(&job.spec, job.preset, job.rate, &cfg)
+        });
+        assert_eq!(results.len(), 2, "every cell must be present");
+        let crashed = &results[&("MRQ".into(), "baseline".into(), 50)];
+        assert_eq!(crashed.outcome, Outcome::Crashed);
+        assert!(
+            crashed.error.as_deref().unwrap_or("").contains("panic"),
+            "failure must carry the panic message, got {:?}",
+            crashed.error
+        );
+        let ok = &results[&("STN".into(), "baseline".into(), 50)];
+        assert_eq!(ok.outcome, Outcome::Completed);
     }
 }

@@ -1,0 +1,173 @@
+//! Stable configuration fingerprints for the sweep orchestrator.
+//!
+//! A fingerprint identifies one experiment cell — (app, policy, rate,
+//! seed, scale, code-schema version) — across process restarts, so a
+//! resumed sweep can recognise already-computed cells in its persistent
+//! result store. [`FxHasher`](crate::hash::FxHasher) is unsuitable here:
+//! it is an in-process hash whose goal is speed, and nothing pins its
+//! output across refactors. This is FNV-1a 64 with explicit field
+//! framing, chosen because the algorithm is frozen by spec — the same
+//! field sequence yields the same 16-hex-digit fingerprint on every
+//! platform, build, and release of this workspace (locked by tests).
+//!
+//! Field framing: every push folds a one-byte type tag before the value
+//! and strings fold their length after the bytes, so `("ab", "c")` and
+//! `("a", "bc")` — or a string that looks like an integer — can never
+//! collide by concatenation.
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a fingerprint builder.
+///
+/// ```
+/// use sim_core::fingerprint::Fingerprint;
+/// let mut fp = Fingerprint::new();
+/// fp.push_str("STN");
+/// fp.push_u64(42);
+/// let hex = fp.hex();
+/// assert_eq!(hex.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+impl Fingerprint {
+    /// Fresh fingerprint (FNV offset basis).
+    #[must_use]
+    pub fn new() -> Self {
+        Fingerprint { state: OFFSET }
+    }
+
+    #[inline]
+    fn fold(&mut self, byte: u8) {
+        self.state = (self.state ^ u64::from(byte)).wrapping_mul(PRIME);
+    }
+
+    fn fold_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.fold(b);
+        }
+    }
+
+    /// Fold a UTF-8 string field (tag 0x01, bytes, length).
+    pub fn push_str(&mut self, s: &str) {
+        self.fold(0x01);
+        for b in s.as_bytes() {
+            self.fold(*b);
+        }
+        self.fold_u64(s.len() as u64);
+    }
+
+    /// Fold an unsigned integer field (tag 0x02).
+    pub fn push_u64(&mut self, v: u64) {
+        self.fold(0x02);
+        self.fold_u64(v);
+    }
+
+    /// Fold a float field by its IEEE-754 bit pattern (tag 0x03), so
+    /// `0.5` and `0.5000001` are distinct and `-0.0 != 0.0` (a config
+    /// difference, however silly, must change the fingerprint).
+    pub fn push_f64(&mut self, v: f64) {
+        self.fold(0x03);
+        self.fold_u64(v.to_bits());
+    }
+
+    /// The 64-bit digest of everything pushed so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest as a fixed-width lowercase hex string (16 chars) —
+    /// the form stored in journals and compared on resume.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp_of(f: impl FnOnce(&mut Fingerprint)) -> u64 {
+        let mut fp = Fingerprint::new();
+        f(&mut fp);
+        fp.finish()
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let a = fp_of(|f| {
+            f.push_str("STN");
+            f.push_u64(7);
+            f.push_f64(0.5);
+        });
+        let b = fp_of(|f| {
+            f.push_str("STN");
+            f.push_u64(7);
+            f.push_f64(0.5);
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn golden_values_are_frozen() {
+        // These constants pin the algorithm: if they change, every
+        // persisted result store in the wild silently stops matching.
+        // Do not update them without bumping the orchestrator schema.
+        assert_eq!(fp_of(|_| {}), OFFSET);
+        assert_eq!(fp_of(|f| f.push_u64(0)), 0x0cd9_2cf5_4dc6_15e5);
+        assert_eq!(fp_of(|f| f.push_str("cppe")), 0x0f0c_7088_a597_9f64);
+    }
+
+    #[test]
+    fn concatenation_cannot_collide() {
+        let ab_c = fp_of(|f| {
+            f.push_str("ab");
+            f.push_str("c");
+        });
+        let a_bc = fp_of(|f| {
+            f.push_str("a");
+            f.push_str("bc");
+        });
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn type_tags_separate_domains() {
+        // A string of digit bytes must not collide with the integer.
+        let s = fp_of(|f| f.push_str("7"));
+        let n = fp_of(|f| f.push_u64(7));
+        assert_ne!(s, n);
+    }
+
+    #[test]
+    fn float_bits_distinguish_near_values() {
+        let a = fp_of(|f| f.push_f64(0.5));
+        let b = fp_of(|f| f.push_f64(0.5 + f64::EPSILON));
+        assert_ne!(a, b);
+        let pos = fp_of(|f| f.push_f64(0.0));
+        let neg = fp_of(|f| f.push_f64(-0.0));
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        let mut fp = Fingerprint::new();
+        fp.push_u64(1);
+        let h = fp.hex();
+        assert_eq!(h.len(), 16);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -365,6 +365,29 @@ pub fn loss_banner(telemetry: &RunTelemetry) -> Option<String> {
     Some(banner)
 }
 
+/// Write `contents` to `path` crash-safely: the bytes land in a
+/// sibling `<name>.tmp` file first, are flushed to disk, and only then
+/// renamed over the destination. Readers (CI gates parsing `BENCH_*`
+/// baselines, `--resume` loading a snapshot) therefore see either the
+/// previous complete artifact or the new complete artifact — never a
+/// truncated hybrid from a run that was killed mid-write.
+///
+/// # Errors
+/// Propagates the underlying I/O error; on failure the destination is
+/// untouched (a stale `.tmp` may remain and is overwritten next time).
+pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,6 +569,19 @@ mod tests {
         let j = run_summary_json("completed", 30_000, &t);
         json::validate(&j).unwrap();
         assert!(j.contains("\"spans\":{\"recorded\":4,\"dropped\":0,\"unclosed\":0}"));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("cppe-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        write_atomic(&path, "{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        write_atomic(&path, "{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        assert!(!dir.join("artifact.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -32,7 +32,10 @@
 //!   parser (used by the golden-schema tests and the CI artifact
 //!   check),
 //! * [`export`] — the exporters: wide per-epoch timeline CSV, JSON run
-//!   summary, and Chrome trace-event JSON loadable in Perfetto.
+//!   summary, Chrome trace-event JSON loadable in Perfetto, and the
+//!   crash-safe [`export::write_atomic`] file writer,
+//! * [`orch`] — [`OrchMetrics`], the sweep-orchestrator counters
+//!   (leases issued/expired, cells resumed/deduped, journal bytes).
 //!
 //! ## Overhead guarantee
 //!
@@ -50,6 +53,7 @@ pub mod export;
 pub mod json;
 pub mod ledger;
 pub mod metrics;
+pub mod orch;
 pub mod ring;
 pub mod span;
 pub mod tracer;
@@ -61,6 +65,7 @@ pub use event::{EventRecord, InjectedFaultKind, TraceEvent};
 pub use export::TraceFormat;
 pub use ledger::{PageLedger, PageLife};
 pub use metrics::{EpochRow, EpochSeries, MetricKind, MetricsRegistry};
+pub use orch::OrchMetrics;
 pub use ring::TraceRing;
 pub use span::{SpanId, SpanRecord, SpanRecorder, SpanStage};
 pub use tracer::{RunTelemetry, TraceConfig, Tracer};

@@ -1,0 +1,127 @@
+//! Orchestrator metrics: counters for the crash-safe sweep service.
+//!
+//! `harness::orchestrator` aggregates these behind its scheduler lock
+//! (they are control-plane counters, not hot-path samples) and renders
+//! them into its end-of-run report and the result store's summary. The
+//! dotted names follow the registry conventions in [`crate::metrics`]
+//! so dashboards can treat sweep-level and run-level series uniformly.
+
+use crate::json;
+use std::fmt::Write as _;
+
+/// Counters describing one orchestrated sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrchMetrics {
+    /// Cells requested by the spec (before dedupe/resume filtering).
+    pub cells_requested: u64,
+    /// Duplicate submissions collapsed by fingerprint within one spec.
+    pub cells_deduped: u64,
+    /// Cells skipped because the result store already held their
+    /// fingerprint (`--resume`).
+    pub cells_resumed: u64,
+    /// Cells that completed (any simulator outcome, including a run
+    /// that crashed *in simulation* — that is still a computed result).
+    pub cells_completed: u64,
+    /// Cells recorded as `Failed` after exhausting their retry budget.
+    pub cells_failed: u64,
+    /// Leases handed to workers.
+    pub leases_issued: u64,
+    /// Leases expired past their deadline and re-queued (or failed).
+    pub leases_expired: u64,
+    /// Cell attempts re-issued after a panic or an expired lease.
+    pub retries: u64,
+    /// Worker panics contained by `catch_unwind`.
+    pub panics_caught: u64,
+    /// Worker threads that died (chaos kill or panic escape).
+    pub workers_died: u64,
+    /// Completions that arrived after their lease had expired and the
+    /// cell was already resolved elsewhere (discarded).
+    pub stale_completions: u64,
+    /// 1 when the pool shed to serial in-process execution because
+    /// every worker died with cells still pending.
+    pub shed_serial: u64,
+    /// Journal lines appended this run.
+    pub journal_appends: u64,
+    /// Journal bytes written this run.
+    pub journal_bytes: u64,
+    /// Snapshot compactions performed.
+    pub compactions: u64,
+}
+
+impl OrchMetrics {
+    /// Render as one JSON object under stable dotted names.
+    #[must_use]
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.entries().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json::string(name));
+        }
+        out.push('}');
+        out
+    }
+
+    /// `(dotted name, value)` pairs, in schema order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("orch.cells.requested", self.cells_requested),
+            ("orch.cells.deduped", self.cells_deduped),
+            ("orch.cells.resumed", self.cells_resumed),
+            ("orch.cells.completed", self.cells_completed),
+            ("orch.cells.failed", self.cells_failed),
+            ("orch.leases.issued", self.leases_issued),
+            ("orch.leases.expired", self.leases_expired),
+            ("orch.retries", self.retries),
+            ("orch.panics.caught", self.panics_caught),
+            ("orch.workers.died", self.workers_died),
+            ("orch.stale.completions", self.stale_completions),
+            ("orch.shed.serial", self.shed_serial),
+            ("orch.journal.appends", self.journal_appends),
+            ("orch.journal.bytes", self.journal_bytes),
+            ("orch.compactions", self.compactions),
+        ]
+    }
+
+    /// Plain-text report section (one `name = value` line per counter,
+    /// zero-valued counters included — absence of a line would be
+    /// ambiguous in a crash-investigation artifact).
+    #[must_use]
+    pub fn report_section(&self) -> String {
+        let mut out = String::from("orchestrator counters\n");
+        for (name, v) in self.entries() {
+            let _ = writeln!(out, "  {name} = {v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_json_is_well_formed() {
+        let m = OrchMetrics {
+            cells_requested: 12,
+            leases_issued: 14,
+            journal_bytes: 4096,
+            ..OrchMetrics::default()
+        };
+        let doc = m.summary_json();
+        json::validate(&doc).unwrap();
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(v.get("orch.cells.requested").unwrap().as_u64(), Some(12));
+        assert_eq!(v.get("orch.journal.bytes").unwrap().as_u64(), Some(4096));
+    }
+
+    #[test]
+    fn report_section_lists_every_counter() {
+        let m = OrchMetrics::default();
+        let s = m.report_section();
+        assert_eq!(s.lines().count(), 1 + m.entries().len());
+        assert!(s.contains("orch.leases.expired = 0"));
+    }
+}

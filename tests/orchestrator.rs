@@ -1,0 +1,386 @@
+//! Orchestrator crash-safety suite: kill/resume bit-identity, journal
+//! corruption recovery, lease-expiry containment, and the chaos storm.
+//!
+//! The contract under test (DESIGN.md "Orchestration & crash safety"):
+//! however the workers are tortured — killed, panicked, delayed, the
+//! whole process stopped and restarted — the final result set is
+//! bit-identical to a clean serial run, already-journaled cells are
+//! never re-computed, and no cell ever goes silently missing.
+
+use cppe::presets::PolicyPreset;
+use gpu::{Outcome, RunResult};
+use harness::orchestrator::{
+    orchestrate, orchestrate_with, CellEntry, CellRecord, CellSpec, LeaseConfig, OrchChaos,
+    OrchestratorConfig, Recovery, ResultStore, StoreError,
+};
+use harness::runner::ExpConfig;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+use workloads::registry;
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cppe-orch-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cell(app: &str, preset: PolicyPreset, rate: f64, seed: u64, scale: f64) -> CellSpec {
+    CellSpec {
+        spec: registry::by_abbr(app).unwrap(),
+        preset,
+        rate,
+        seed,
+        scale,
+    }
+}
+
+/// The small real-simulator matrix the crash drills run on.
+fn real_cells(seeds: &[u64]) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for app in ["STN", "MRQ"] {
+        for preset in [PolicyPreset::Baseline, PolicyPreset::Cppe] {
+            for &seed in seeds {
+                cells.push(cell(app, preset, 0.5, seed, 0.125));
+            }
+        }
+    }
+    cells
+}
+
+/// Cheap deterministic fake "simulation" for machinery-only tests.
+fn fake_exec(spec: &CellSpec) -> RunResult {
+    let h = u64::from_str_radix(&spec.fingerprint(), 16).unwrap();
+    let mut r = RunResult::failed("unset");
+    r.outcome = Outcome::Completed;
+    r.error = None;
+    r.cycles = h % 1_000_000;
+    r.accesses = h % 10_000;
+    r.engine.faults = h % 1_000;
+    r.bytes_h2d = h % 65_536;
+    r
+}
+
+fn fake_cells(n: u64) -> Vec<CellSpec> {
+    (0..n)
+        .map(|i| cell("STN", PolicyPreset::Baseline, 0.5, i, 0.25))
+        .collect()
+}
+
+/// Entries with provenance metadata (attempt counts) masked: chaos may
+/// legitimately take several attempts, but the *observables* must be
+/// bit-identical to a clean run.
+fn observables(entries: &BTreeMap<String, CellEntry>) -> BTreeMap<String, CellEntry> {
+    entries
+        .iter()
+        .map(|(k, e)| {
+            let mut e = e.clone();
+            e.record.attempts = 0;
+            (k.clone(), e)
+        })
+        .collect()
+}
+
+#[test]
+fn kill_and_resume_merged_result_equals_clean_run() {
+    let dir = temp_store("resume");
+    let cells = real_cells(&[7, 8]);
+    let total = cells.len();
+    let exp = ExpConfig::quick();
+
+    // Reference: clean serial run, no store.
+    let mut clean_cfg = OrchestratorConfig::new(exp);
+    clean_cfg.threads = 1;
+    let clean = orchestrate(cells.clone(), None, &clean_cfg);
+    assert_eq!(clean.entries.len(), total);
+
+    // Run A: journal to a store, "killed" shortly after the first cell
+    // resolves (a single worker so the in-flight overshoot past the
+    // stop point stays far below the matrix size).
+    let (mut store_a, _) = ResultStore::open(&dir, Recovery::Strict).unwrap();
+    let mut cfg_a = OrchestratorConfig::new(exp);
+    cfg_a.threads = 1;
+    cfg_a.stop_after = Some(1);
+    let out_a = orchestrate(cells.clone(), Some(&mut store_a), &cfg_a);
+    assert!(out_a.stopped_early);
+    let journaled = store_a.len();
+    assert!(journaled >= 1, "stop-after fired before any cell resolved");
+    assert!(journaled < total, "the kill must leave work unfinished");
+    drop(store_a);
+
+    // Run B: restart against the same store. Everything journaled by
+    // run A must be resumed, not re-computed: the only leases issued
+    // are for the cells the kill left behind.
+    let (mut store_b, report) = ResultStore::open(&dir, Recovery::Strict).unwrap();
+    assert_eq!(report.from_journal, journaled);
+    let mut cfg_b = OrchestratorConfig::new(exp);
+    cfg_b.threads = 2;
+    let out_b = orchestrate(cells, Some(&mut store_b), &cfg_b);
+    assert!(!out_b.stopped_early);
+    assert_eq!(out_b.metrics.cells_resumed, journaled as u64);
+    assert_eq!(out_b.metrics.leases_issued, (total - journaled) as u64);
+    assert_eq!(out_b.metrics.cells_completed, (total - journaled) as u64);
+
+    // The merged result set is bit-identical to the clean run.
+    assert_eq!(out_b.entries, clean.entries);
+    assert_eq!(store_b.len(), total);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_storm_with_kill_and_resume_is_bit_identical() {
+    // The flagship drill (also run by the CI orchestrator-chaos job):
+    // deterministic worker kills, injected panics and delays, plus a
+    // whole-process "kill" mid-run and a resume — the merged result
+    // set must still match a clean serial run exactly.
+    let dir = temp_store("storm");
+    let cells = real_cells(&[7, 8]);
+    let total = cells.len();
+    let exp = ExpConfig::quick();
+
+    let mut clean_cfg = OrchestratorConfig::new(exp);
+    clean_cfg.threads = 1;
+    let clean = orchestrate(cells.clone(), None, &clean_cfg);
+
+    // Chaos leases are short so a killed worker's cell is re-issued
+    // promptly; real cells at this scale run in single-digit millis.
+    let lease = LeaseConfig {
+        lease: Duration::from_millis(250),
+        max_attempts: 3,
+        backoff: Duration::from_millis(1),
+        max_in_flight: usize::MAX,
+    };
+
+    let (mut store_a, _) = ResultStore::open(&dir, Recovery::Strict).unwrap();
+    let mut cfg_a = OrchestratorConfig::new(exp);
+    cfg_a.threads = 4;
+    cfg_a.lease = lease;
+    cfg_a.chaos = Some(OrchChaos::storm(0xC0FFEE));
+    cfg_a.stop_after = Some(3);
+    let out_a = orchestrate(cells.clone(), Some(&mut store_a), &cfg_a);
+    assert!(out_a.stopped_early);
+    let journaled = store_a.len();
+    drop(store_a);
+
+    let (mut store_b, _) = ResultStore::open(&dir, Recovery::Strict).unwrap();
+    let mut cfg_b = OrchestratorConfig::new(exp);
+    cfg_b.threads = 4;
+    cfg_b.lease = lease;
+    cfg_b.chaos = Some(OrchChaos::storm(0xC0FFEE));
+    let out_b = orchestrate(cells, Some(&mut store_b), &cfg_b);
+    assert!(!out_b.stopped_early);
+
+    // Zero re-computation of journaled cells, despite the storm.
+    assert_eq!(out_b.metrics.cells_resumed, journaled as u64);
+
+    // Bit-identical observables; every cell present and none failed
+    // (chaos only torments attempts below the retry budget).
+    assert_eq!(out_b.entries.len(), total);
+    assert_eq!(observables(&out_b.entries), observables(&clean.entries));
+    assert_eq!(out_b.metrics.cells_failed, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_journal_strict_errors_and_salvage_keeps_prefix() {
+    let dir = temp_store("corrupt");
+    let (mut store, _) = ResultStore::open(&dir, Recovery::Strict).unwrap();
+    let mut cfg = OrchestratorConfig::new(ExpConfig::quick());
+    cfg.threads = 2;
+    let out = orchestrate_with(fake_cells(3), Some(&mut store), &cfg, fake_exec);
+    assert_eq!(out.entries.len(), 3);
+    drop(store);
+
+    // A foreign/garbage line lands in the journal.
+    let journal = dir.join("journal.jsonl");
+    let valid = std::fs::read_to_string(&journal).unwrap();
+    std::fs::write(&journal, format!("{valid}this is not json\n")).unwrap();
+
+    // Strict: refused, with the damaged line called out.
+    match ResultStore::open(&dir, Recovery::Strict) {
+        Err(StoreError::Corrupt { line, .. }) => assert_eq!(line, 4),
+        other => panic!("expected Corrupt error, got {other:?}"),
+    }
+
+    // Salvage: valid prefix kept, damage truncated and reported.
+    let (store, report) = ResultStore::open(&dir, Recovery::Salvage).unwrap();
+    assert_eq!(store.len(), 3);
+    let salvage = report.salvaged.expect("salvage must be reported");
+    assert_eq!(salvage.line, 4);
+    assert_eq!(salvage.dropped_bytes, "this is not json\n".len() as u64);
+    drop(store);
+    assert_eq!(std::fs::read_to_string(&journal).unwrap(), valid);
+
+    // And the salvaged store is clean again for strict opens.
+    let (store, report) = ResultStore::open(&dir, Recovery::Strict).unwrap();
+    assert_eq!(store.len(), 3);
+    assert!(report.salvaged.is_none());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_journal_tail_is_salvaged() {
+    let dir = temp_store("torn");
+    let (mut store, _) = ResultStore::open(&dir, Recovery::Strict).unwrap();
+    let cfg = OrchestratorConfig::new(ExpConfig::quick());
+    orchestrate_with(fake_cells(3), Some(&mut store), &cfg, fake_exec);
+    drop(store);
+
+    // Simulate a crash mid-append: the last line is cut short.
+    let journal = dir.join("journal.jsonl");
+    let full = std::fs::read(&journal).unwrap();
+    std::fs::write(&journal, &full[..full.len() - 10]).unwrap();
+
+    assert!(matches!(
+        ResultStore::open(&dir, Recovery::Strict),
+        Err(StoreError::Corrupt { .. })
+    ));
+
+    let (store, report) = ResultStore::open(&dir, Recovery::Salvage).unwrap();
+    assert_eq!(store.len(), 2, "the two intact lines must survive");
+    let salvage = report.salvaged.unwrap();
+    assert!(salvage.dropped_bytes > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_schema_store_is_refused() {
+    let dir = temp_store("schema");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("snapshot.json"),
+        "{\"schema\":\"cppe-orch-v0\",\"cells\":[]}",
+    )
+    .unwrap();
+    for mode in [Recovery::Strict, Recovery::Salvage] {
+        match ResultStore::open(&dir, mode) {
+            Err(StoreError::Schema { found }) => assert_eq!(found, "cppe-orch-v0"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hung_cell_expires_to_failed_and_late_result_is_stale() {
+    // One cell "hangs" (sleeps far past its lease) on every attempt;
+    // the lease machinery must retire it as Failed with the expiry
+    // error, keep the rest of the sweep healthy, and discard the
+    // sleeper's eventual completions as stale.
+    let cells = fake_cells(2);
+    let mut cfg = OrchestratorConfig::new(ExpConfig::quick());
+    cfg.threads = 2;
+    cfg.lease = LeaseConfig {
+        lease: Duration::from_millis(20),
+        max_attempts: 2,
+        backoff: Duration::from_millis(1),
+        max_in_flight: usize::MAX,
+    };
+    let out = orchestrate_with(cells, None, &cfg, |spec| {
+        if spec.seed == 1 {
+            std::thread::sleep(Duration::from_millis(400));
+        }
+        fake_exec(spec)
+    });
+
+    assert_eq!(out.entries.len(), 2, "no cell may go missing");
+    let healthy = out.entries.values().find(|e| e.seed == 0).unwrap();
+    assert_eq!(healthy.record.status, "completed");
+    let hung = out.entries.values().find(|e| e.seed == 1).unwrap();
+    assert_eq!(hung.record.status, "failed");
+    assert_eq!(hung.record.attempts, 2);
+    assert!(
+        hung.record
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("lease expired"),
+        "failure must carry the expiry error, got {:?}",
+        hung.record.error
+    );
+    assert_eq!(out.metrics.leases_expired, 2);
+    assert!(out.metrics.stale_completions >= 1);
+}
+
+#[test]
+fn always_panicking_cell_is_recorded_failed_never_dropped() {
+    // Chaos armed past the retry budget: every attempt of every cell
+    // panics. The sweep must still terminate with every cell present,
+    // each recorded Failed with the panic message after exactly
+    // max_attempts tries.
+    let cells = fake_cells(3);
+    let mut cfg = OrchestratorConfig::new(ExpConfig::quick());
+    cfg.threads = 2;
+    cfg.lease.max_attempts = 3;
+    cfg.lease.backoff = Duration::from_millis(1);
+    cfg.chaos = Some(OrchChaos::panics_only(5, 100, 10));
+    let out = orchestrate_with(cells, None, &cfg, fake_exec);
+
+    assert_eq!(out.entries.len(), 3);
+    for entry in out.entries.values() {
+        assert_eq!(entry.record.status, "failed");
+        assert_eq!(entry.record.attempts, 3);
+        assert!(entry
+            .record
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("injected panic"));
+    }
+    assert_eq!(out.metrics.cells_failed, 3);
+    assert_eq!(out.metrics.panics_caught, 9);
+    assert_eq!(out.metrics.retries, 6);
+}
+
+#[test]
+fn compaction_round_trips_and_journal_layers_over_snapshot() {
+    let dir = temp_store("compact");
+    let (mut store, _) = ResultStore::open(&dir, Recovery::Strict).unwrap();
+    let cells = fake_cells(3);
+    for c in &cells {
+        let entry = CellEntry::from_spec(c, c.fingerprint(), CellRecord::failed("seed entry", 1));
+        assert!(store.append(entry).unwrap());
+    }
+    // Duplicate appends are refused (idempotent journal).
+    let dup = CellEntry::from_spec(
+        &cells[0],
+        cells[0].fingerprint(),
+        CellRecord::failed("dup", 1),
+    );
+    assert!(!store.append(dup).unwrap());
+
+    store.compact().unwrap();
+    let before: Vec<_> = store.entries().values().cloned().collect();
+    drop(store);
+    assert_eq!(
+        std::fs::read_to_string(dir.join("journal.jsonl")).unwrap(),
+        ""
+    );
+
+    // Snapshot alone restores everything; fresh appends layer on top.
+    let (mut store, report) = ResultStore::open(&dir, Recovery::Strict).unwrap();
+    assert_eq!(report.from_snapshot, 3);
+    assert_eq!(report.from_journal, 0);
+    let after: Vec<_> = store.entries().values().cloned().collect();
+    assert_eq!(before, after);
+
+    let extra = cell("MRQ", PolicyPreset::Cppe, 0.5, 9, 0.25);
+    store
+        .append(CellEntry::from_spec(
+            &extra,
+            extra.fingerprint(),
+            CellRecord::failed("late", 1),
+        ))
+        .unwrap();
+    drop(store);
+    let (store, report) = ResultStore::open(&dir, Recovery::Strict).unwrap();
+    assert_eq!(store.len(), 4);
+    assert_eq!(report.from_snapshot, 3);
+    assert_eq!(report.from_journal, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
