@@ -9,7 +9,8 @@
 //!     [--seeds 12648430] [--scale X] [--threads N] \
 //!     [--store DIR] [--resume] [--salvage] [--compact] \
 //!     [--lease-ms N] [--max-attempts N] [--backoff-ms N] \
-//!     [--max-in-flight N] [--chaos-seed N] [--stop-after N]
+//!     [--max-in-flight N] [--chaos-seed N] [--stop-after N] \
+//!     [--status-port N] [--status-linger-ms N] [--flight PATH]
 //! ```
 //!
 //! `--resume` is required to reuse a store that already holds results
@@ -18,13 +19,23 @@
 //! open it. `--chaos-seed` arms the deterministic kill/panic/delay
 //! storm (for exercising the machinery); `--stop-after N` aborts after
 //! N cells resolve, simulating a kill for resume drills.
+//!
+//! `--status-port N` serves live `/metrics` (Prometheus text),
+//! `/status` (JSON) and `/healthz` on `127.0.0.1:N` (0 = ephemeral);
+//! the bound address is written to `<store>/status.addr` (or
+//! `results/status.addr` without a store) so scripts can find an
+//! ephemeral port. `--status-linger-ms` keeps the server up after the
+//! sweep so a scraper polling near the end does not race shutdown. The
+//! crash flight recorder is always armed: dossiers go to `--flight
+//! PATH` or default to `<store>/flightrec.json` / `results/flightrec.json`.
 
 use harness::orchestrator::{
-    orchestrate, parse_policy, render_report, CellSpec, LeaseConfig, OrchChaos, OrchestratorConfig,
-    Recovery, ResultStore,
+    orchestrate, parse_policy, render_report, CellSpec, LeaseConfig, OpsPlane, OrchChaos,
+    OrchestratorConfig, Recovery, ResultStore,
 };
 use harness::runner::ExpConfig;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Cli {
@@ -33,6 +44,9 @@ struct Cli {
     store: Option<PathBuf>,
     resume: bool,
     recovery: Recovery,
+    status_port: Option<u16>,
+    status_linger: Duration,
+    flight: Option<PathBuf>,
 }
 
 fn parse_list(raw: &str) -> Vec<&str> {
@@ -64,6 +78,9 @@ fn parse_cli(args: &[String]) -> Cli {
     let mut store = None;
     let mut resume = false;
     let mut recovery = Recovery::Strict;
+    let mut status_port = None;
+    let mut status_linger = Duration::ZERO;
+    let mut flight = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -153,6 +170,21 @@ fn parse_cli(args: &[String]) -> Cli {
                         .expect("--stop-after needs a number"),
                 );
             }
+            "--status-port" => {
+                status_port = Some(
+                    take(args, &mut i, "--status-port")
+                        .parse()
+                        .expect("--status-port needs a port number (0 = ephemeral)"),
+                );
+            }
+            "--status-linger-ms" => {
+                status_linger = Duration::from_millis(
+                    take(args, &mut i, "--status-linger-ms")
+                        .parse()
+                        .expect("--status-linger-ms needs millis"),
+                );
+            }
+            "--flight" => flight = Some(PathBuf::from(take(args, &mut i, "--flight"))),
             other => panic!("unknown argument: {other}"),
         }
         i += 1;
@@ -191,13 +223,47 @@ fn parse_cli(args: &[String]) -> Cli {
         store,
         resume,
         recovery,
+        status_port,
+        status_linger,
+        flight,
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = parse_cli(&args);
+    let mut cli = parse_cli(&args);
     let t0 = std::time::Instant::now();
+
+    // Ops artifacts (flight dossier, status.addr) live next to the
+    // journal when there is a store, else under results/.
+    let ops_dir = cli
+        .store
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results"));
+    cli.cfg.flight = Some(
+        cli.flight
+            .clone()
+            .unwrap_or_else(|| ops_dir.join("flightrec.json")),
+    );
+    let plane = Arc::new(OpsPlane::new());
+    cli.cfg.ops = Some(plane.clone());
+    let server = cli.status_port.map(|port| {
+        let server = telemetry::StatusServer::start(&format!("127.0.0.1:{port}"), plane)
+            .unwrap_or_else(|e| panic!("--status-port {port}: cannot bind status server: {e}"));
+        let addr = server.local_addr().to_string();
+        eprintln!("[orchestrate] status server on http://{addr}");
+        let addr_file = ops_dir.join("status.addr");
+        if let Some(parent) = addr_file.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&addr_file, format!("{addr}\n")) {
+            eprintln!(
+                "[orchestrate] WARNING: cannot write {}: {e}",
+                addr_file.display()
+            );
+        }
+        server
+    });
 
     let mut store = cli.store.as_ref().map(|dir| {
         let (store, report) = match ResultStore::open(dir, cli.recovery) {
@@ -244,6 +310,12 @@ fn main() {
         Ok(path) => eprintln!("[orchestrate] saved to {}", path.display()),
         Err(e) => eprintln!("[orchestrate] could not save results: {e}"),
     }
+    if server.is_some() && !cli.status_linger.is_zero() {
+        // Give CI scrapers a grace window: the sweep may finish while
+        // a poller is still mid-request.
+        std::thread::sleep(cli.status_linger);
+    }
+    drop(server);
     if outcome.stopped_early {
         eprintln!("[orchestrate] stopped early (--stop-after); rerun with --resume to finish");
         std::process::exit(3);

@@ -4,9 +4,14 @@
 //! tests use. Chrome traces (`*trace.json`) additionally get their
 //! `ph:"B"`/`ph:"E"` span events balance-checked, and
 //! `BENCH_profile.json` / `BENCH_audit.json` must carry their expected
-//! schema markers with at least one profiled/audited workload. CI runs
-//! this after the traced smoke/timeline/profile/audit runs; exits
-//! non-zero on the first malformed artifact.
+//! schema markers with at least one profiled/audited workload. Monitor
+//! snapshot dumps (`*monitor.json`) are schema- and
+//! accounting-checked, flight-recorder dossiers (`*flightrec.json`)
+//! structurally validated (including their embedded monitor series),
+//! and `*.jsonl` ledgers (bench history, orchestrator journals)
+//! checked line by line. CI runs this after the traced
+//! smoke/timeline/profile/audit runs; exits non-zero on the first
+//! malformed artifact.
 //!
 //! Usage: `validate-trace [DIR]` (default `results`).
 
@@ -15,6 +20,14 @@ use std::process::ExitCode;
 
 /// Checks beyond well-formedness, keyed off the artifact's file name.
 fn validate_json_artifact(name: &str, body: &str) -> Result<String, String> {
+    if name.ends_with("monitor.json") {
+        // monitor::validate_doc parses and checks schema, metric kinds
+        // and the retained+dropped=sampled accounting itself.
+        return telemetry::monitor::validate_doc(body);
+    }
+    if name.ends_with("flightrec.json") {
+        return telemetry::flightrec::validate_doc(body);
+    }
     telemetry::json::validate(body)?;
     if name.ends_with("trace.json") {
         let pairs = telemetry::export::span_balance(body)?;
@@ -58,6 +71,25 @@ fn validate_json_artifact(name: &str, body: &str) -> Result<String, String> {
     Ok("ok".to_string())
 }
 
+/// Validate a JSONL ledger: every line must be well-formed JSON.
+/// (Appenders are crash-safe via append-only writes, so a torn *final*
+/// line is salvageable at read time — but CI artifacts are written by
+/// cleanly-exited runs and held to the strict bar.)
+fn validate_jsonl(body: &str) -> Result<String, String> {
+    let mut lines = 0usize;
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        telemetry::json::validate(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("no JSON lines".to_string());
+    }
+    Ok(format!("{lines} JSONL lines"))
+}
+
 fn main() -> ExitCode {
     let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
     let dir = Path::new(&dir);
@@ -88,6 +120,9 @@ fn main() -> ExitCode {
             "json" => std::fs::read_to_string(&path)
                 .map_err(|e| e.to_string())
                 .and_then(|s| validate_json_artifact(&name, &s)),
+            "jsonl" => std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|s| validate_jsonl(&s)),
             _ => continue,
         };
         checked += 1;
@@ -103,7 +138,7 @@ fn main() -> ExitCode {
     println!("[validate-trace] {checked} artifacts checked, {failed} failed");
     if failed > 0 || checked == 0 {
         if checked == 0 {
-            eprintln!("[validate-trace] no .csv/.json artifacts found — nothing validated");
+            eprintln!("[validate-trace] no .csv/.json/.jsonl artifacts found — nothing validated");
         }
         ExitCode::FAILURE
     } else {

@@ -52,9 +52,13 @@ pub mod timeline;
 use crate::runner::ExpConfig;
 
 /// Parse the common binary CLI:
-/// `[--quick] [--scale X] [--threads N] [--trace] [--trace-format F]`.
+/// `[--quick] [--scale X] [--threads N] [--trace] [--trace-format F]
+/// [--monitor]`.
 /// Returns the config and thread count. `--trace-format` implies
 /// `--trace`; `F` is one of `csv`, `json`, `chrome`, `all`.
+/// `--monitor` implies `--trace` and arms the periodic snapshot
+/// sampler (experiments that export artifacts then also write a
+/// `*_monitor.json` time-series).
 ///
 /// # Panics
 /// Panics on unknown or malformed arguments.
@@ -81,6 +85,10 @@ pub fn cli_config(args: &[String]) -> (ExpConfig, usize) {
                     .expect("--threads needs a number");
             }
             "--trace" => cfg.gpu.trace.enabled = true,
+            "--monitor" => {
+                cfg.gpu.trace.enabled = true;
+                cfg.gpu.trace.monitor = true;
+            }
             "--trace-format" => {
                 i += 1;
                 cfg.trace_format = args

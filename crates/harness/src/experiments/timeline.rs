@@ -28,7 +28,16 @@ pub const DEFAULT_APP: &str = "HSD";
 pub fn run_instrumented(cfg: &ExpConfig, abbr: &str, preset: PolicyPreset) -> RunResult {
     let spec = registry::by_abbr(abbr).expect("known app");
     let gpu = gpu::GpuConfig {
-        trace: telemetry::TraceConfig::audited(),
+        // Audited tracer, carrying over the caller's monitor knobs so
+        // `--monitor` yields a snapshot time-series alongside the
+        // decision stream.
+        trace: telemetry::TraceConfig {
+            monitor: cfg.gpu.trace.monitor,
+            monitor_cadence: cfg.gpu.trace.monitor_cadence,
+            monitor_wall_ms: cfg.gpu.trace.monitor_wall_ms,
+            monitor_capacity: cfg.gpu.trace.monitor_capacity,
+            ..telemetry::TraceConfig::audited()
+        },
         ..cfg.gpu
     };
     let lanes = gpu.lanes();
@@ -81,6 +90,12 @@ pub fn run(cfg: &ExpConfig, _threads: usize) -> String {
             let _ = save(
                 &format!("timeline_{app}_{label}_trace.json"),
                 &export::chrome_trace_json(t),
+            );
+        }
+        if t.monitor.sampled > 0 {
+            let _ = save(
+                &format!("timeline_{app}_{label}_monitor.json"),
+                &telemetry::monitor::monitor_json(&t.monitor),
             );
         }
     }
@@ -220,6 +235,17 @@ mod tests {
         assert!(report.contains("Decision provenance"));
         assert!(report.contains("Oracle regret"));
         assert!(report.contains("avoidable"));
+    }
+
+    #[test]
+    fn monitor_flag_yields_valid_snapshot_series() {
+        let mut cfg = ExpConfig::quick();
+        cfg.gpu.trace.monitor = true;
+        let r = run_instrumented(&cfg, "STN", PolicyPreset::Cppe);
+        let t = r.telemetry.as_ref().expect("traced");
+        assert!(t.monitor.sampled > 0, "sampler must fire at least once");
+        let doc = telemetry::monitor::monitor_json(&t.monitor);
+        telemetry::monitor::validate_doc(&doc).expect("valid monitor document");
     }
 
     #[test]

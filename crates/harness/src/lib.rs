@@ -9,11 +9,13 @@
 //! * [`orchestrator`] — the crash-safe sweep service (leased work
 //!   queue, persistent result store, checkpoint/resume, chaos),
 //! * [`report`] — text/CSV table rendering,
+//! * [`history`] — the cross-run bench-history ledger behind `trend`,
 //! * [`opt`] — the offline Belady chunk-fault bound,
 //! * [`oracle`] — the decision-audit comparator against that bound,
 //! * [`experiments`] — one module per paper artifact.
 
 pub mod experiments;
+pub mod history;
 pub mod opt;
 pub mod oracle;
 pub mod orchestrator;

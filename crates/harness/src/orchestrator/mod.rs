@@ -27,11 +27,15 @@
 //! crash-safety tests drive.
 
 pub mod chaos;
+pub mod ops;
 pub mod queue;
 pub mod store;
 
 pub use chaos::OrchChaos;
-pub use queue::{Claim, CompleteVerdict, FailVerdict, Lease, LeaseConfig, LeaseQueue};
+pub use ops::{OpsPlane, STATUS_SCHEMA};
+pub use queue::{
+    Claim, CompleteVerdict, FailVerdict, Lease, LeaseConfig, LeaseQueue, LeaseStatus, QueueStatus,
+};
 pub use store::{OpenReport, Recovery, ResultStore, SalvageReport, StoreError};
 
 use crate::runner::{run_cell, ExpConfig};
@@ -41,8 +45,9 @@ use gpu::{Outcome, RunResult};
 use sim_core::Fingerprint;
 use std::collections::{BTreeMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use telemetry::{json, OrchMetrics};
 
@@ -314,7 +319,7 @@ impl CellEntry {
 }
 
 /// Orchestrator tuning.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct OrchestratorConfig {
     /// Base experiment settings (gpu model, trace format; per-cell
     /// seed/scale come from each [`CellSpec`]).
@@ -330,6 +335,14 @@ pub struct OrchestratorConfig {
     pub stop_after: Option<usize>,
     /// Compact the store into a snapshot after a clean finish.
     pub compact_on_finish: bool,
+    /// Flight-recorder dossier path. When set, cell panics, early
+    /// stops and worker deaths dump a crash dossier here (atomic
+    /// rename; last event wins).
+    pub flight: Option<PathBuf>,
+    /// Shared live-ops plane, usually because a status server is
+    /// scraping it. When unset but `flight` is set, a private plane is
+    /// created so the dossier still carries monitor history.
+    pub ops: Option<Arc<OpsPlane>>,
 }
 
 impl OrchestratorConfig {
@@ -343,6 +356,8 @@ impl OrchestratorConfig {
             chaos: None,
             stop_after: None,
             compact_on_finish: false,
+            flight: None,
+            ops: None,
         }
     }
 }
@@ -457,6 +472,19 @@ where
 
     let start = Instant::now();
     let queue = Mutex::new(LeaseQueue::new(work, cfg.lease, start));
+    // Live-ops plane: shared (status server scraping it) or private
+    // (flight recorder only). None ⇒ observability fully off.
+    let ops: Option<Arc<OpsPlane>> = cfg
+        .ops
+        .clone()
+        .or_else(|| cfg.flight.as_ref().map(|_| Arc::new(OpsPlane::new())));
+    let dump_flight = |reason: &str| {
+        if let (Some(ops), Some(path)) = (ops.as_ref(), cfg.flight.as_ref()) {
+            if let Err(e) = ops.dump_flight(path, reason) {
+                eprintln!("[orchestrate] WARNING: flight-recorder dump failed: {e}");
+            }
+        }
+    };
     let abort = AtomicBool::new(false);
     let mut full: BTreeMap<String, RunResult> = BTreeMap::new();
     let mut stopped_early = false;
@@ -500,6 +528,11 @@ where
                                 if cfg.stop_after.is_some_and(|n| resolved_this_run >= n) {
                                     stopped_early = true;
                                     abort.store(true, Ordering::Relaxed);
+                                    if let Some(ops) = ops.as_ref() {
+                                        ops.note(format!(
+                                            "stop_after reached: aborting with {resolved_this_run} cells resolved"
+                                        ));
+                                    }
                                 }
                             }
                             CompleteVerdict::Stale => metrics.stale_completions += 1,
@@ -515,11 +548,18 @@ where
                                 .lock()
                                 .unwrap()
                                 .fail_attempt(&fp, epoch, &msg, Instant::now());
+                        if let Some(ops) = ops.as_ref() {
+                            ops.note(format!("panic contained: cell {fp} epoch {epoch}: {msg}"));
+                        }
+                        dump_flight(&format!("cell panic: {fp}"));
                     }
                     Ok(Msg::Exit { died }) => {
                         live -= 1;
                         if died {
                             metrics.workers_died += 1;
+                            if let Some(ops) = ops.as_ref() {
+                                ops.note(format!("worker died; {live} still live"));
+                            }
                         }
                     }
                     Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -527,6 +567,10 @@ where
                         queue.lock().unwrap().expire_overdue(Instant::now());
                     }
                     Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+                if let Some(ops) = ops.as_ref() {
+                    let status = queue.lock().unwrap().status(Instant::now());
+                    ops.tick(&metrics, status);
                 }
             }
         });
@@ -536,10 +580,15 @@ where
         // rather than losing the sweep.
         if !abort.load(Ordering::Relaxed) && queue.lock().unwrap().remaining() > 0 {
             metrics.shed_serial = 1;
+            if let Some(ops) = ops.as_ref() {
+                ops.note("all workers died; shedding to serial drain");
+            }
+            dump_flight("all workers died; shed to serial");
             serial_drain(
                 &queue,
                 cfg,
                 &exec,
+                ops.as_ref(),
                 &mut entries,
                 &mut full,
                 &mut store,
@@ -568,6 +617,16 @@ where
         metrics.leases_issued = q.issued;
         metrics.leases_expired = q.expired;
         metrics.retries = q.retries;
+    }
+    // Final tick so a scraping status server sees the settled counts,
+    // and a dossier for the simulated-kill path (the chaos drill's
+    // `--stop-after` abort) with the queue state a resume would see.
+    if let Some(ops) = ops.as_ref() {
+        let status = queue.lock().unwrap().status(Instant::now());
+        ops.tick(&metrics, status);
+    }
+    if stopped_early {
+        dump_flight("orchestrator stopped early (stop_after kill drill)");
     }
     if let Some(store) = store.as_mut() {
         if cfg.compact_on_finish && !stopped_early {
@@ -704,6 +763,7 @@ fn serial_drain<F>(
     queue: &Mutex<LeaseQueue>,
     cfg: &OrchestratorConfig,
     exec: &F,
+    ops: Option<&Arc<OpsPlane>>,
     entries: &mut BTreeMap<String, CellEntry>,
     full: &mut BTreeMap<String, RunResult>,
     store: &mut Option<&mut ResultStore>,
@@ -758,7 +818,17 @@ fn serial_drain<F>(
                             &msg,
                             Instant::now(),
                         );
+                        if let Some(ops) = ops {
+                            ops.note(format!(
+                                "panic contained (serial): cell {} epoch {}: {msg}",
+                                lease.fp, lease.epoch
+                            ));
+                        }
                     }
+                }
+                if let Some(ops) = ops {
+                    let status = queue.lock().unwrap().status(Instant::now());
+                    ops.tick(metrics, status);
                 }
             }
         }

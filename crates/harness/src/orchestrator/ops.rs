@@ -1,0 +1,341 @@
+//! The orchestrator's live ops plane.
+//!
+//! [`OpsPlane`] is the glue between the supervisor loop and the
+//! observability machinery: each supervisor tick pushes the current
+//! [`OrchMetrics`] and [`QueueStatus`] in; the plane keeps
+//!
+//! * a [`telemetry::MetricsRegistry`] of orchestrator counters and
+//!   queue-depth gauges (rendered as Prometheus text for `/metrics`),
+//! * a wall-tick [`telemetry::Monitor`] over that registry (the last-N
+//!   vitals the flight recorder dumps),
+//! * a [`telemetry::FlightRecorder`] whose open spans mirror the
+//!   in-flight leases and whose breadcrumbs log panics, deaths and
+//!   expiries,
+//! * the [`QueueStatus`] itself, rendered as the `/status` JSON
+//!   document (schema [`STATUS_SCHEMA`]) with a completion ETA
+//!   extrapolated from this run's resolution rate.
+//!
+//! The plane is shared (`Arc`) between the supervisor and the status
+//! server; one mutex guards the state — ticks are a few per second and
+//! scrapes are human-driven, so contention is irrelevant.
+
+use super::queue::QueueStatus;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+use telemetry::expose::{prometheus_text, OpsSource};
+use telemetry::{json, FlightRecorder, MetricKind, Monitor, OrchMetrics};
+
+/// Schema marker for the `/status` document.
+pub const STATUS_SCHEMA: &str = "cppe-status-v1";
+
+/// Wall-clock milliseconds between ops-plane monitor samples.
+const OPS_MONITOR_WALL_MS: u64 = 250;
+/// Ops-plane monitor ring capacity (the flight recorder's last-N).
+const OPS_MONITOR_CAPACITY: usize = 512;
+/// Flight-recorder breadcrumb capacity.
+const OPS_BREADCRUMBS: usize = 256;
+
+#[derive(Debug)]
+struct OpsState {
+    registry: telemetry::MetricsRegistry,
+    monitor: Monitor,
+    flight: FlightRecorder,
+    status: QueueStatus,
+    resumed: u64,
+    resolved_this_run: usize,
+}
+
+/// The shared live-ops state (see module docs).
+#[derive(Debug)]
+pub struct OpsPlane {
+    started: Instant,
+    state: Mutex<OpsState>,
+}
+
+impl Default for OpsPlane {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpsPlane {
+    /// Fresh plane; the clock starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        OpsPlane {
+            started: Instant::now(),
+            state: Mutex::new(OpsState {
+                registry: telemetry::MetricsRegistry::new(),
+                // Cycle cadence off: the orchestrator has no simulated
+                // clock, so wall ticks drive the sampler.
+                monitor: Monitor::new(u64::MAX, OPS_MONITOR_WALL_MS, OPS_MONITOR_CAPACITY),
+                flight: FlightRecorder::new(OPS_BREADCRUMBS),
+                status: QueueStatus::default(),
+                resumed: 0,
+                resolved_this_run: 0,
+            }),
+        }
+    }
+
+    /// Milliseconds since the plane was created.
+    #[must_use]
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Supervisor tick: absorb the current counters and queue view.
+    /// Reconciles the flight recorder's open spans against the
+    /// in-flight leases and lets the monitor sample on its wall
+    /// cadence.
+    pub fn tick(&self, metrics: &OrchMetrics, status: QueueStatus) {
+        let uptime = self.uptime_ms();
+        let mut st = self.state.lock().unwrap();
+        for (name, value) in metrics.entries() {
+            st.registry.set(name, MetricKind::Counter, value);
+        }
+        // Live lease counters come from the queue (the OrchMetrics
+        // copies are only finalized at end of run).
+        st.registry
+            .set("orch.leases.issued", MetricKind::Counter, status.issued);
+        st.registry
+            .set("orch.leases.expired", MetricKind::Counter, status.expired);
+        st.registry
+            .set("orch.retries", MetricKind::Counter, status.retries);
+        st.registry.set(
+            "orch.cells.pending",
+            MetricKind::Gauge,
+            status.pending as u64,
+        );
+        st.registry.set(
+            "orch.cells.in_flight",
+            MetricKind::Gauge,
+            status.in_flight as u64,
+        );
+
+        // Open spans mirror the in-flight leases: open the new, close
+        // the gone (first-open timestamps survive re-ticks).
+        let live: std::collections::BTreeSet<&str> =
+            status.leases.iter().map(|l| l.fp.as_str()).collect();
+        for lease in &status.leases {
+            st.flight.open(
+                &lease.fp,
+                format!(
+                    "{}/{} rate {}% attempt {} epoch {}",
+                    lease.app, lease.policy, lease.rate_pct, lease.attempt, lease.epoch
+                ),
+            );
+        }
+        let to_close: Vec<String> = st
+            .status
+            .leases
+            .iter()
+            .filter(|prev| !live.contains(prev.fp.as_str()))
+            .map(|prev| prev.fp.clone())
+            .collect();
+        for fp in to_close {
+            st.flight.close(&fp);
+        }
+
+        st.resumed = metrics.cells_resumed;
+        st.resolved_this_run = status.done + status.failed;
+        st.status = status;
+        let OpsState {
+            registry, monitor, ..
+        } = &mut *st;
+        monitor.maybe_sample(uptime, registry);
+    }
+
+    /// Append a flight-recorder breadcrumb.
+    pub fn note(&self, text: impl Into<String>) {
+        self.state.lock().unwrap().flight.note(text);
+    }
+
+    /// Dump the flight-recorder dossier (breadcrumbs, open leases, last
+    /// monitor snapshots, live queue status) to `path`.
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn dump_flight(&self, path: &Path, reason: &str) -> std::io::Result<()> {
+        let st = self.state.lock().unwrap();
+        st.flight.dump(
+            path,
+            reason,
+            Some(&st.monitor.series()),
+            Some(&render_status(
+                &st.status,
+                self.uptime_ms(),
+                st.resumed,
+                st.resolved_this_run,
+            )),
+        )
+    }
+}
+
+/// Render the `/status` JSON document.
+fn render_status(status: &QueueStatus, uptime_ms: u64, resumed: u64, resolved: usize) -> String {
+    // ETA: extrapolate from this run's resolution rate. None until the
+    // first cell resolves.
+    let outstanding = status.pending + status.in_flight;
+    let eta_ms = if resolved > 0 && outstanding > 0 {
+        format!(
+            "{}",
+            (uptime_ms as u128 * outstanding as u128 / resolved as u128) as u64
+        )
+    } else if outstanding == 0 {
+        "0".to_string()
+    } else {
+        "null".to_string()
+    };
+    let mut s = String::from("{");
+    let _ = write!(
+        s,
+        "\"schema\":{},\"uptime_ms\":{uptime_ms},\
+         \"cells\":{{\"done\":{},\"failed\":{},\"resumed\":{resumed},\
+         \"pending\":{},\"in_flight\":{}}},\
+         \"leases\":{{\"issued\":{},\"expired\":{},\"retries\":{}}},\
+         \"eta_ms\":{eta_ms},\"in_flight\":[",
+        json::string(STATUS_SCHEMA),
+        status.done,
+        status.failed,
+        status.pending,
+        status.in_flight,
+        status.issued,
+        status.expired,
+        status.retries,
+    );
+    for (i, lease) in status.leases.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"fp\":{},\"app\":{},\"policy\":{},\"rate\":{},\
+             \"attempt\":{},\"epoch\":{},\"held_ms\":{}}}",
+            json::string(&lease.fp),
+            json::string(&lease.app),
+            json::string(&lease.policy),
+            lease.rate_pct,
+            lease.attempt,
+            lease.epoch,
+            lease.held_ms,
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+impl OpsSource for OpsPlane {
+    fn metrics_text(&self) -> String {
+        let st = self.state.lock().unwrap();
+        prometheus_text(st.registry.iter())
+    }
+
+    fn status_json(&self) -> String {
+        let st = self.state.lock().unwrap();
+        render_status(
+            &st.status,
+            self.uptime_ms(),
+            st.resumed,
+            st.resolved_this_run,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::queue::LeaseStatus;
+    use super::*;
+
+    fn fake_status() -> QueueStatus {
+        QueueStatus {
+            pending: 3,
+            in_flight: 1,
+            done: 4,
+            failed: 1,
+            issued: 6,
+            expired: 1,
+            retries: 1,
+            leases: vec![LeaseStatus {
+                fp: "abc123".into(),
+                app: "STN".into(),
+                policy: "cppe".into(),
+                rate_pct: 50,
+                attempt: 2,
+                epoch: 3,
+                held_ms: 40,
+            }],
+        }
+    }
+
+    #[test]
+    fn tick_feeds_metrics_and_status() {
+        let plane = OpsPlane::new();
+        let metrics = OrchMetrics {
+            cells_requested: 9,
+            cells_completed: 4,
+            ..OrchMetrics::default()
+        };
+        plane.tick(&metrics, fake_status());
+
+        let text = plane.metrics_text();
+        assert!(text.contains("# TYPE orch_cells_requested counter"));
+        assert!(text.contains("orch_cells_requested 9"));
+        assert!(text.contains("orch_cells_pending 3"));
+        assert!(text.contains("orch_leases_issued 6"));
+
+        let status = plane.status_json();
+        json::validate(&status).unwrap();
+        assert!(status.contains(&format!("\"schema\":\"{STATUS_SCHEMA}\"")));
+        assert!(status.contains("\"pending\":3"));
+        assert!(status.contains("\"fp\":\"abc123\""));
+        assert!(status.contains("\"attempt\":2"));
+        // 5 resolved, 4 outstanding: ETA is a number, not null.
+        assert!(!status.contains("\"eta_ms\":null"));
+    }
+
+    #[test]
+    fn eta_null_before_first_resolution() {
+        let plane = OpsPlane::new();
+        let status = QueueStatus {
+            pending: 5,
+            ..QueueStatus::default()
+        };
+        plane.tick(&OrchMetrics::default(), status);
+        let doc = plane.status_json();
+        json::validate(&doc).unwrap();
+        assert!(doc.contains("\"eta_ms\":null"));
+    }
+
+    #[test]
+    fn flight_dump_carries_open_leases_and_monitor() {
+        let dir = std::env::temp_dir().join(format!("cppe-ops-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("flightrec.json");
+        let plane = OpsPlane::new();
+        plane.note("worker died");
+        plane.tick(&OrchMetrics::default(), fake_status());
+        plane.dump_flight(&path, "test shutdown").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let detail = telemetry::flightrec::validate_doc(&body).unwrap();
+        assert!(detail.contains("1 open spans"), "{detail}");
+        assert!(body.contains("\"abc123\""));
+        assert!(body.contains("worker died"));
+        assert!(body.contains(STATUS_SCHEMA), "state section attached");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leases_close_when_no_longer_in_flight() {
+        let plane = OpsPlane::new();
+        plane.tick(&OrchMetrics::default(), fake_status());
+        // Next tick: the lease resolved; nothing in flight.
+        let mut done = fake_status();
+        done.leases.clear();
+        done.in_flight = 0;
+        done.done += 1;
+        plane.tick(&OrchMetrics::default(), done);
+        assert_eq!(plane.state.lock().unwrap().flight.open_count(), 0);
+    }
+}

@@ -127,6 +127,47 @@ struct Slot {
     last_error: Option<String>,
 }
 
+/// One in-flight lease as reported by [`LeaseQueue::status`].
+#[derive(Debug, Clone)]
+pub struct LeaseStatus {
+    /// Config fingerprint.
+    pub fp: String,
+    /// Workload abbreviation.
+    pub app: String,
+    /// Policy label.
+    pub policy: String,
+    /// Oversubscription rate in percent.
+    pub rate_pct: u32,
+    /// 1-based attempt this lease represents.
+    pub attempt: u32,
+    /// Lease epoch.
+    pub epoch: u32,
+    /// How long the lease has been held (ms).
+    pub held_ms: u64,
+}
+
+/// A point-in-time view of the queue (the `/status` endpoint's and the
+/// flight recorder's source of truth).
+#[derive(Debug, Clone, Default)]
+pub struct QueueStatus {
+    /// Cells waiting to be leased.
+    pub pending: usize,
+    /// Cells currently leased.
+    pub in_flight: usize,
+    /// Cells resolved `Done`.
+    pub done: usize,
+    /// Cells resolved `Failed`.
+    pub failed: usize,
+    /// Leases handed out so far.
+    pub issued: u64,
+    /// Leases expired so far.
+    pub expired: u64,
+    /// Re-issues so far.
+    pub retries: u64,
+    /// Detail for every in-flight lease.
+    pub leases: Vec<LeaseStatus>,
+}
+
 /// The leased work queue (wrap in a `Mutex` to share).
 #[derive(Debug)]
 pub struct LeaseQueue {
@@ -318,6 +359,43 @@ impl LeaseQueue {
             .count()
     }
 
+    /// Snapshot the queue for live exposition. `now` anchors the
+    /// held-time computation (a lease's start is its deadline minus the
+    /// configured lease duration).
+    #[must_use]
+    pub fn status(&self, now: Instant) -> QueueStatus {
+        let mut status = QueueStatus {
+            issued: self.issued,
+            expired: self.expired,
+            retries: self.retries,
+            ..QueueStatus::default()
+        };
+        for slot in &self.slots {
+            match slot.state {
+                SlotState::Pending => status.pending += 1,
+                SlotState::Done => status.done += 1,
+                SlotState::Failed { .. } => status.failed += 1,
+                SlotState::Leased { deadline, epoch } => {
+                    status.in_flight += 1;
+                    let held_ms = deadline
+                        .checked_sub(self.cfg.lease)
+                        .map_or(0, |start| now.saturating_duration_since(start).as_millis())
+                        as u64;
+                    status.leases.push(LeaseStatus {
+                        fp: slot.fp.clone(),
+                        app: slot.spec.spec.abbr.to_string(),
+                        policy: slot.spec.preset.label(),
+                        rate_pct: (slot.spec.rate * 100.0).round() as u32,
+                        attempt: slot.attempts,
+                        epoch,
+                        held_ms,
+                    });
+                }
+            }
+        }
+        status
+    }
+
     /// Every cell that ended `Failed`, with its error and attempt
     /// count — the orchestrator records these so no cell is ever
     /// missing from the result set.
@@ -477,6 +555,32 @@ mod tests {
             q.fail_attempt(&l2.fp, l2.epoch, "real", later),
             FailVerdict::Retry { .. }
         ));
+    }
+
+    #[test]
+    fn status_reports_counts_and_held_leases() {
+        let now = Instant::now();
+        let mut q = LeaseQueue::new(cells(3), cfg_ms(1000, 3), now);
+        let Claim::Lease(a) = q.claim(now) else {
+            panic!()
+        };
+        q.complete(&a.fp);
+        let Claim::Lease(b) = q.claim(now) else {
+            panic!()
+        };
+        let s = q.status(now + Duration::from_millis(5));
+        assert_eq!(s.done, 1);
+        assert_eq!(s.in_flight, 1);
+        assert_eq!(s.pending, 1);
+        assert_eq!(s.failed, 0);
+        assert_eq!(s.issued, 2);
+        assert_eq!(s.leases.len(), 1);
+        assert_eq!(s.leases[0].fp, b.fp);
+        assert_eq!(s.leases[0].app, "STN");
+        assert_eq!(s.leases[0].policy, "baseline");
+        assert_eq!(s.leases[0].rate_pct, 50);
+        assert_eq!(s.leases[0].attempt, 1);
+        assert!(s.leases[0].held_ms >= 5, "held {} ms", s.leases[0].held_ms);
     }
 
     #[test]

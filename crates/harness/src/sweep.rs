@@ -87,6 +87,34 @@ where
     let cells: Vec<CellSpec> = jobs.iter().map(|j| j.to_cell(cfg)).collect();
     let mut ocfg = OrchestratorConfig::new(*cfg);
     ocfg.threads = threads;
+    // Long-running experiment binaries get the ops plane via env:
+    // CPPE_FLIGHT_PATH arms the crash flight recorder (default path
+    // under results/ when set empty), CPPE_STATUS_PORT starts a
+    // /metrics + /status server on 127.0.0.1 for the sweep's duration.
+    if let Ok(p) = std::env::var("CPPE_FLIGHT_PATH") {
+        ocfg.flight = Some(if p.is_empty() {
+            std::path::PathBuf::from("results").join("flightrec.json")
+        } else {
+            std::path::PathBuf::from(p)
+        });
+    }
+    let _server = match std::env::var("CPPE_STATUS_PORT") {
+        Ok(port) => {
+            let plane = std::sync::Arc::new(crate::orchestrator::OpsPlane::new());
+            ocfg.ops = Some(plane.clone());
+            match telemetry::StatusServer::start(&format!("127.0.0.1:{port}"), plane) {
+                Ok(server) => {
+                    eprintln!("[sweep] status server on http://{}", server.local_addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("[sweep] WARNING: status server failed to start: {e}");
+                    None
+                }
+            }
+        }
+        Err(_) => None,
+    };
     let mut out = orchestrate_with(cells, None, &ocfg, |cell| {
         let job = Job {
             spec: cell.spec.clone(),

@@ -120,6 +120,16 @@ pub fn run_summary_json(outcome: &str, cycles: u64, telemetry: &RunTelemetry) ->
             telemetry.dropped_decisions
         );
     }
+    // Monitor accounting likewise appears only for monitored runs.
+    if telemetry.monitor.sampled > 0 || telemetry.monitor.dropped > 0 {
+        let _ = write!(
+            s,
+            "\"monitor\":{{\"sampled\":{},\"recorded\":{},\"dropped\":{}}},",
+            telemetry.monitor.sampled,
+            telemetry.monitor.snapshots.len(),
+            telemetry.monitor.dropped
+        );
+    }
     s.push_str("\"metrics\":{");
     for (i, (name, kind)) in telemetry.series.schema.iter().enumerate() {
         if i > 0 {
@@ -362,6 +372,13 @@ pub fn loss_banner(telemetry: &RunTelemetry) -> Option<String> {
             telemetry.dropped_decisions
         );
     }
+    if telemetry.monitor.dropped > 0 {
+        let _ = write!(
+            banner,
+            " ({} monitor snapshots also dropped; raise monitor_capacity)",
+            telemetry.monitor.dropped
+        );
+    }
     Some(banner)
 }
 
@@ -561,6 +578,35 @@ mod tests {
         assert!(j.contains("\"decisions\":{\"recorded\":1,\"dropped\":2}"));
         let banner = loss_banner(&audited).expect("dropped decisions are loss");
         assert!(banner.contains("2 audited decisions"));
+    }
+
+    #[test]
+    fn run_summary_mentions_monitor_only_when_sampled() {
+        let clean = sample_telemetry();
+        let j = run_summary_json("completed", 70_000, &clean);
+        assert!(
+            !j.contains("\"monitor\""),
+            "non-monitored summaries keep their exact shape"
+        );
+        let monitored = RunTelemetry {
+            monitor: crate::monitor::MonitorSeries {
+                schema: vec![("driver.batches".into(), MetricKind::Counter)],
+                snapshots: vec![crate::monitor::MonitorSnapshot {
+                    seq: 2,
+                    cycle: 70_000,
+                    wall_ms: 1,
+                    totals: vec![2],
+                }],
+                sampled: 3,
+                dropped: 2,
+            },
+            ..sample_telemetry()
+        };
+        let j = run_summary_json("completed", 70_000, &monitored);
+        json::validate(&j).unwrap();
+        assert!(j.contains("\"monitor\":{\"sampled\":3,\"recorded\":1,\"dropped\":2}"));
+        let banner = loss_banner(&monitored).expect("dropped snapshots are loss");
+        assert!(banner.contains("2 monitor snapshots"));
     }
 
     #[test]

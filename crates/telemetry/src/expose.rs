@@ -1,0 +1,257 @@
+//! Live exposition: Prometheus text rendering and a std-only status
+//! server.
+//!
+//! [`prometheus_text`] renders any `(name, kind, value)` metric set in
+//! the Prometheus text exposition format (version 0.0.4): dotted names
+//! sanitized to `[a-zA-Z0-9_]`, one `# TYPE` line per metric.
+//!
+//! [`StatusServer`] is the long-run escape hatch from "black box until
+//! exit": a `std::net::TcpListener` on a background thread serving
+//!
+//! * `GET /metrics`  — Prometheus exposition of the caller's registry,
+//! * `GET /status`   — a caller-defined JSON status document,
+//! * `GET /healthz`  — `ok`.
+//!
+//! No new dependencies: a minimal HTTP/1.1 responder is ~40 lines and
+//! all we need — every response carries `Content-Length` and
+//! `Connection: close`, so `curl`, Prometheus scrapers and browsers are
+//! all happy. The accept loop polls non-blockingly and exits on a stop
+//! flag; dropping the server joins the thread, so tests and binaries
+//! shut down cleanly.
+
+use crate::metrics::MetricKind;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sanitize a dotted metric name into the Prometheus charset
+/// (`[a-zA-Z0-9_]`, non-digit first character).
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render metrics in the Prometheus text exposition format.
+#[must_use]
+pub fn prometheus_text<'a>(
+    metrics: impl IntoIterator<Item = (&'a str, MetricKind, u64)>,
+) -> String {
+    let mut s = String::new();
+    for (name, kind, value) in metrics {
+        let name = prometheus_name(name);
+        let kind = match kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        s.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+    }
+    s
+}
+
+/// What the server exposes. The implementor renders fresh documents on
+/// every request (the server holds no metric state of its own).
+pub trait OpsSource: Send + Sync {
+    /// Body for `GET /metrics` (Prometheus text exposition).
+    fn metrics_text(&self) -> String;
+    /// Body for `GET /status` (one JSON document).
+    fn status_json(&self) -> String;
+}
+
+/// The background status server. Drop (or [`StatusServer::shutdown`])
+/// stops the accept loop and joins the thread.
+#[derive(Debug)]
+pub struct StatusServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Bind `addr` (use port 0 for an ephemeral port — read the actual
+    /// one back from [`StatusServer::local_addr`]) and serve `source`
+    /// until dropped.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn start(addr: &str, source: Arc<dyn OpsSource>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("status-server".into())
+            .spawn(move || accept_loop(&listener, &stop_flag, source.as_ref()))?;
+        Ok(StatusServer {
+            local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, source: &dyn OpsSource) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One request per connection; errors on a single
+                // connection never take the server down.
+                let _ = serve_one(stream, source);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(15)),
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, source: &dyn OpsSource) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 4096];
+    let mut req = Vec::new();
+    // Read until the end of the request head (we ignore any body).
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        req.extend_from_slice(&buf[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&req);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("GET"), Some(path)) => Some(path.to_string()),
+                _ => None,
+            }
+        })
+        .unwrap_or_default();
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", source.metrics_text()),
+        "/status" => ("200 OK", "application/json", source.status_json()),
+        "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            "not found (try /metrics, /status, /healthz)\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeSource;
+
+    impl OpsSource for FakeSource {
+        fn metrics_text(&self) -> String {
+            prometheus_text([
+                ("orch.cells.completed", MetricKind::Counter, 7),
+                ("orch.cells.pending", MetricKind::Gauge, 3),
+            ])
+        }
+        fn status_json(&self) -> String {
+            "{\"schema\":\"test-status\",\"ok\":true}".to_string()
+        }
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prometheus_name("orch.cells.done"), "orch_cells_done");
+        assert_eq!(prometheus_name("a-b c"), "a_b_c");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn prometheus_text_has_type_lines() {
+        let t = prometheus_text([("cppe.faults", MetricKind::Counter, 42)]);
+        assert_eq!(t, "# TYPE cppe_faults counter\ncppe_faults 42\n");
+    }
+
+    #[test]
+    fn server_serves_all_routes_on_ephemeral_port() {
+        let server = StatusServer::start("127.0.0.1:0", Arc::new(FakeSource)).unwrap();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0, "ephemeral port resolved");
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("# TYPE orch_cells_completed counter"));
+        assert!(metrics.contains("orch_cells_pending 3"));
+
+        let status = get(addr, "/status");
+        assert!(status.contains("application/json"));
+        assert!(status.contains("\"schema\":\"test-status\""));
+
+        let health = get(addr, "/healthz");
+        assert!(health.ends_with("ok\n"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+    }
+}

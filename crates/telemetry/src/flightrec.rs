@@ -1,0 +1,332 @@
+//! Crash flight recorder: a post-mortem dossier for killed runs.
+//!
+//! The orchestrator's journal makes *results* crash-safe; nothing made
+//! the *run itself* inspectable after a chaos kill or a contained
+//! panic. The [`FlightRecorder`] keeps a bounded drop-oldest breadcrumb
+//! ring (wall-stamped notes: leases issued, panics contained, workers
+//! dying) plus the set of currently-open spans (in-flight cells), and
+//! on demand dumps both — together with the last monitor snapshots and
+//! a caller-supplied state document — as one atomic-rename JSON dossier
+//! (schema [`FLIGHTREC_SCHEMA`]) next to the journal. Every kill or
+//! panic in the chaos suite therefore leaves forensics: what was
+//! running, what had just happened, and what the vitals looked like.
+
+use crate::export::write_atomic;
+use crate::json;
+use crate::monitor::{monitor_json, MonitorSeries};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Schema marker for flight-recorder dossiers.
+pub const FLIGHTREC_SCHEMA: &str = "cppe-flightrec-v1";
+
+/// The recorder. Cheap to tick; only [`FlightRecorder::dump`] does I/O.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    started: Instant,
+    capacity: usize,
+    crumbs: std::collections::VecDeque<(u64, String)>,
+    dropped: u64,
+    /// Open spans by key: `(opened wall ms, label)`.
+    open: BTreeMap<String, (u64, String)>,
+}
+
+impl FlightRecorder {
+    /// Recorder keeping at most `capacity` breadcrumbs (drop-oldest).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            started: Instant::now(),
+            capacity,
+            crumbs: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+            open: BTreeMap::new(),
+        }
+    }
+
+    /// Wall-clock milliseconds since the recorder started.
+    #[must_use]
+    pub fn wall_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Append a breadcrumb (oldest dropped at capacity).
+    pub fn note(&mut self, text: impl Into<String>) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.crumbs.len() == self.capacity {
+            self.crumbs.pop_front();
+            self.dropped += 1;
+        }
+        self.crumbs.push_back((self.wall_ms(), text.into()));
+    }
+
+    /// Open (or relabel) span `key`. The open-span set is what the
+    /// dossier reports as "in flight at the time of death".
+    pub fn open(&mut self, key: &str, label: impl Into<String>) {
+        let at = self.wall_ms();
+        let entry = self
+            .open
+            .entry(key.to_string())
+            .or_insert((at, String::new()));
+        entry.1 = label.into();
+    }
+
+    /// Close span `key` (no-op when unknown).
+    pub fn close(&mut self, key: &str) {
+        self.open.remove(key);
+    }
+
+    /// Currently open spans.
+    #[must_use]
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Render the dossier document. `monitor` attaches the last
+    /// snapshots; `state` is a caller-rendered JSON document (the
+    /// orchestrator passes its live queue status) — both `null` when
+    /// absent.
+    #[must_use]
+    pub fn dossier_json(
+        &self,
+        reason: &str,
+        monitor: Option<&MonitorSeries>,
+        state: Option<&str>,
+    ) -> String {
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"schema\":{},\"reason\":{},\"wall_ms\":{},\"open_spans\":[",
+            json::string(FLIGHTREC_SCHEMA),
+            json::string(reason),
+            self.wall_ms()
+        );
+        for (i, (key, (opened, label))) in self.open.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"key\":{},\"label\":{},\"opened_wall_ms\":{opened}}}",
+                json::string(key),
+                json::string(label)
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"breadcrumbs_dropped\":{},\"breadcrumbs\":[",
+            self.dropped
+        );
+        for (i, (at, text)) in self.crumbs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"wall_ms\":{at},\"note\":{}}}", json::string(text));
+        }
+        s.push_str("],\"monitor\":");
+        match monitor {
+            Some(series) => s.push_str(&monitor_json(series)),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"state\":");
+        s.push_str(state.unwrap_or("null"));
+        s.push('}');
+        s
+    }
+
+    /// Write the dossier crash-safely to `path` (parent directories
+    /// created as needed; atomic rename, so readers never see a torn
+    /// dossier).
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn dump(
+        &self,
+        path: &Path,
+        reason: &str,
+        monitor: Option<&MonitorSeries>,
+        state: Option<&str>,
+    ) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        write_atomic(path, &self.dossier_json(reason, monitor, state))
+    }
+}
+
+/// Schema-check a flight-recorder dossier (the `validate-trace` hook).
+/// Returns a one-line summary.
+///
+/// # Errors
+/// Describes the first malformation.
+pub fn validate_doc(body: &str) -> Result<String, String> {
+    let v = json::parse(body)?;
+    match v.get("schema").and_then(json::Value::as_str) {
+        Some(FLIGHTREC_SCHEMA) => {}
+        other => {
+            return Err(format!(
+                "schema marker {other:?}, want {FLIGHTREC_SCHEMA:?}"
+            ))
+        }
+    }
+    let reason = v
+        .get("reason")
+        .and_then(json::Value::as_str)
+        .ok_or("missing \"reason\"")?;
+    if reason.is_empty() {
+        return Err("empty \"reason\"".into());
+    }
+    let open = v
+        .get("open_spans")
+        .and_then(json::Value::as_array)
+        .ok_or("missing \"open_spans\" array")?;
+    for span in open {
+        if span.get("key").and_then(json::Value::as_str).is_none()
+            || span
+                .get("opened_wall_ms")
+                .and_then(json::Value::as_u64)
+                .is_none()
+        {
+            return Err("open span without key/opened_wall_ms".into());
+        }
+    }
+    let crumbs = v
+        .get("breadcrumbs")
+        .and_then(json::Value::as_array)
+        .ok_or("missing \"breadcrumbs\" array")?;
+    for crumb in crumbs {
+        if crumb.get("note").and_then(json::Value::as_str).is_none() {
+            return Err("breadcrumb without note".into());
+        }
+    }
+    let monitor = v.get("monitor").ok_or("missing \"monitor\"")?;
+    let monitor_detail = if monitor.is_null() {
+        "no monitor".to_string()
+    } else {
+        // Nested monitor section follows the monitor schema exactly.
+        let mut nested = String::new();
+        render_value(monitor, &mut nested);
+        crate::monitor::validate_doc(&nested)?
+    };
+    if v.get("state").is_none() {
+        return Err("missing \"state\"".into());
+    }
+    Ok(format!(
+        "reason {reason:?}, {} open spans, {} breadcrumbs, {monitor_detail}",
+        open.len(),
+        crumbs.len()
+    ))
+}
+
+/// Re-render a parsed value as JSON (for validating nested documents).
+fn render_value(v: &json::Value, out: &mut String) {
+    match v {
+        json::Value::Null => out.push_str("null"),
+        json::Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        json::Value::Num(n) => out.push_str(n),
+        json::Value::Str(s) => out.push_str(&json::string(s)),
+        json::Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_value(item, out);
+            }
+            out.push(']');
+        }
+        json::Value::Obj(map) => {
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json::string(k));
+                out.push(':');
+                render_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricKind, MetricsRegistry};
+    use crate::monitor::Monitor;
+
+    #[test]
+    fn breadcrumbs_drop_oldest() {
+        let mut fr = FlightRecorder::new(2);
+        fr.note("first");
+        fr.note("second");
+        fr.note("third");
+        let doc = fr.dossier_json("test", None, None);
+        assert!(!doc.contains("first"));
+        assert!(doc.contains("second") && doc.contains("third"));
+        assert!(doc.contains("\"breadcrumbs_dropped\":1"));
+    }
+
+    #[test]
+    fn open_close_tracks_in_flight() {
+        let mut fr = FlightRecorder::new(8);
+        fr.open("fp1", "STN/cppe");
+        fr.open("fp2", "KMN/baseline");
+        fr.close("fp1");
+        assert_eq!(fr.open_count(), 1);
+        let doc = fr.dossier_json("test", None, None);
+        assert!(doc.contains("\"key\":\"fp2\""));
+        assert!(!doc.contains("fp1"));
+    }
+
+    #[test]
+    fn dossier_validates_with_monitor_and_state() {
+        let mut fr = FlightRecorder::new(8);
+        fr.note("lease issued");
+        fr.open("fp1", "STN/cppe attempt 1");
+        let mut mon = Monitor::new(0, 0, 4);
+        let mut reg = MetricsRegistry::new();
+        reg.set("orch.cells.completed", MetricKind::Counter, 3);
+        mon.maybe_sample(0, &reg);
+        let doc = fr.dossier_json(
+            "cell panic: chaos",
+            Some(&mon.series()),
+            Some("{\"pending\":4}"),
+        );
+        json::validate(&doc).unwrap();
+        let detail = validate_doc(&doc).unwrap();
+        assert!(detail.contains("1 open spans"), "{detail}");
+        assert!(detail.contains("1 breadcrumbs"), "{detail}");
+        assert!(detail.contains("1 snapshots"), "{detail}");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_dossiers() {
+        assert!(validate_doc("{}").is_err());
+        let no_state = "{\"schema\":\"cppe-flightrec-v1\",\"reason\":\"x\",\"wall_ms\":0,\
+             \"open_spans\":[],\"breadcrumbs_dropped\":0,\"breadcrumbs\":[],\"monitor\":null}";
+        assert!(validate_doc(no_state).unwrap_err().contains("state"));
+    }
+
+    #[test]
+    fn dump_writes_atomically_and_creates_dirs() {
+        let dir = std::env::temp_dir().join(format!("cppe-flightrec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("flightrec.json");
+        let mut fr = FlightRecorder::new(4);
+        fr.note("dying");
+        fr.dump(&path, "shutdown-by-chaos", None, None).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        validate_doc(&body).unwrap();
+        assert!(!path.with_extension("json.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

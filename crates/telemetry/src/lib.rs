@@ -35,7 +35,17 @@
 //!   summary, Chrome trace-event JSON loadable in Perfetto, and the
 //!   crash-safe [`export::write_atomic`] file writer,
 //! * [`orch`] — [`OrchMetrics`], the sweep-orchestrator counters
-//!   (leases issued/expired, cells resumed/deduped, journal bytes).
+//!   (leases issued/expired, cells resumed/deduped, journal bytes),
+//! * [`monitor`] — [`Monitor`]: the periodic in-run snapshot sampler
+//!   walking the registry on cycle/wall cadence into a bounded ring of
+//!   [`MonitorSnapshot`]s (the live view the status server and flight
+//!   recorder read),
+//! * [`expose`] — [`StatusServer`]: a std-only `/metrics` (Prometheus
+//!   text exposition) + `/status` (JSON) + `/healthz` server for
+//!   long-running sweeps, plus the exposition renderer itself,
+//! * [`flightrec`] — [`FlightRecorder`]: breadcrumbs, open spans and
+//!   the last monitor snapshots dumped as an atomic-rename JSON dossier
+//!   when a run dies (chaos kill, contained panic).
 //!
 //! ## Overhead guarantee
 //!
@@ -50,9 +60,12 @@ pub mod csv;
 pub mod decision;
 pub mod event;
 pub mod export;
+pub mod expose;
+pub mod flightrec;
 pub mod json;
 pub mod ledger;
 pub mod metrics;
+pub mod monitor;
 pub mod orch;
 pub mod ring;
 pub mod span;
@@ -63,8 +76,11 @@ pub use csv::CsvWriter;
 pub use decision::{DecisionEvent, DecisionKind, DecisionRecord, DecisionRing};
 pub use event::{EventRecord, InjectedFaultKind, TraceEvent};
 pub use export::TraceFormat;
+pub use expose::{OpsSource, StatusServer};
+pub use flightrec::FlightRecorder;
 pub use ledger::{PageLedger, PageLife};
 pub use metrics::{EpochRow, EpochSeries, MetricKind, MetricsRegistry};
+pub use monitor::{Monitor, MonitorSeries, MonitorSnapshot};
 pub use orch::OrchMetrics;
 pub use ring::TraceRing;
 pub use span::{SpanId, SpanRecord, SpanRecorder, SpanStage};
