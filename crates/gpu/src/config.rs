@@ -61,6 +61,13 @@ pub struct GpuConfig {
     /// (eviction candidate windows, prefetch plan origins) for the
     /// audit experiment's ledger and oracle comparator.
     pub trace: TraceConfig,
+    /// Host-side self-profiler: wall-clock attribution per event kind,
+    /// queue-occupancy histograms and the cohort/conflict analyzer
+    /// behind the parallelism-readiness estimate. Off by default —
+    /// the profiler only *reads* simulation state (runs stay
+    /// bit-identical with it on) and when off the loop pays a single
+    /// `Option` branch per event.
+    pub hostprof: bool,
 }
 
 impl Default for GpuConfig {
@@ -82,6 +89,7 @@ impl Default for GpuConfig {
             injection: InjectionConfig::disabled(),
             resilience: ResilienceConfig::default(),
             trace: TraceConfig::default(),
+            hostprof: false,
         }
     }
 }
@@ -119,6 +127,7 @@ mod tests {
         assert!(!c.resilience.degraded_mode);
         assert!(!c.trace.enabled);
         assert!(!c.trace.audit, "decision auditing is opt-in");
+        assert!(!c.hostprof, "host self-profiling is opt-in");
         assert!(c.validate().is_ok());
     }
 

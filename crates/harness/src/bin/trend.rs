@@ -10,8 +10,8 @@
 //! ```
 //!
 //! `record` accepts any of the repo's bench exports (`cppe-speed-v1`,
-//! `cppe-profile-v1`, `cppe-audit-v1`) and dispatches on the schema
-//! marker. The default ledger is `bench-history/history.jsonl`
+//! `cppe-profile-v1`, `cppe-audit-v1`, `cppe-hostprof-v1`) and
+//! dispatches on the schema marker. The default ledger is `bench-history/history.jsonl`
 //! (committable, append-only). `report` prints the text table and
 //! writes the self-contained dashboard (inline SVG sparklines, no
 //! scripts) — exit 1 when the ledger is missing or empty.

@@ -74,8 +74,12 @@ pub fn extract(doc: &str) -> Result<(String, Vec<Sample>), String> {
     if doc.contains("\"schema\":\"cppe-audit-v1\"") {
         return Ok(("audit".to_string(), extract_audit(doc)?));
     }
+    if doc.contains("\"schema\":\"cppe-hostprof-v1\"") {
+        return Ok(("hostprof".to_string(), extract_hostprof(doc)?));
+    }
     Err("document carries no recognized bench schema \
-         (expected cppe-speed-v1, cppe-profile-v1 or cppe-audit-v1)"
+         (expected cppe-speed-v1, cppe-profile-v1, cppe-audit-v1 or \
+         cppe-hostprof-v1)"
         .to_string())
 }
 
@@ -162,6 +166,75 @@ fn extract_audit(doc: &str) -> Result<Vec<Sample>, String> {
     }
     if samples.is_empty() {
         return Err("cppe-audit-v1 document yielded no samples".to_string());
+    }
+    Ok(samples)
+}
+
+fn extract_hostprof(doc: &str) -> Result<Vec<Sample>, String> {
+    let v = json::parse(doc).map_err(|e| format!("invalid JSON: {e}"))?;
+    let apps = v
+        .get("apps")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| "missing \"apps\" array".to_string())?;
+    let mut samples = Vec::new();
+    for w in apps {
+        let app = w
+            .get("app")
+            .and_then(json::Value::as_str)
+            .ok_or("app entry missing \"app\"")?
+            .to_string();
+        if let Some(wall) = w.get("loop_wall_ns").and_then(json::Value::as_f64) {
+            samples.push(Sample {
+                cell: app.clone(),
+                metric: "loop_wall_ms".to_string(),
+                value: wall / 1e6,
+                unit: "ms".to_string(),
+            });
+        }
+        if let Some(inf) = w
+            .get("amdahl")
+            .and_then(|a| a.get("ceiling_inf"))
+            .and_then(json::Value::as_f64)
+        {
+            samples.push(Sample {
+                cell: app.clone(),
+                metric: "ceiling_inf".to_string(),
+                value: inf,
+                unit: "x".to_string(),
+            });
+        }
+        if let Some(ratio) = w
+            .get("overhead")
+            .and_then(|o| o.get("ratio"))
+            .and_then(json::Value::as_f64)
+        {
+            samples.push(Sample {
+                cell: app.clone(),
+                metric: "overhead_ratio".to_string(),
+                value: ratio,
+                unit: "x".to_string(),
+            });
+        }
+        // Per-kind wall attribution → one sparkline per (app, kind).
+        if let Some(kinds) = w.get("kinds").and_then(json::Value::as_array) {
+            for k in kinds {
+                let (Some(kind), Some(wall)) = (
+                    k.get("kind").and_then(json::Value::as_str),
+                    k.get("wall_ns").and_then(json::Value::as_f64),
+                ) else {
+                    continue;
+                };
+                samples.push(Sample {
+                    cell: format!("{app}/{kind}"),
+                    metric: "wall_ns".to_string(),
+                    value: wall,
+                    unit: "ns".to_string(),
+                });
+            }
+        }
+    }
+    if samples.is_empty() {
+        return Err("cppe-hostprof-v1 document yielded no samples".to_string());
     }
     Ok(samples)
 }
@@ -583,6 +656,28 @@ mod tests {
             .find(|s| s.metric == "fault_total_p99")
             .unwrap();
         assert!((p99.value - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extract_reads_hostprof_kinds_and_ceilings() {
+        let doc = "{\"schema\":\"cppe-hostprof-v1\",\"apps\":[\
+                   {\"app\":\"STN\",\"loop_wall_ns\":2500000,\
+                   \"overhead\":{\"ratio\":1.02},\
+                   \"kinds\":[{\"kind\":\"batch_dispatch\",\"wall_ns\":2000000},\
+                   {\"kind\":\"access_hit\",\"wall_ns\":400000}],\
+                   \"amdahl\":{\"ceiling_inf\":3.4}}]}";
+        let (source, samples) = extract(doc).unwrap();
+        assert_eq!(source, "hostprof");
+        let wall = samples.iter().find(|s| s.metric == "loop_wall_ms").unwrap();
+        assert!((wall.value - 2.5).abs() < 1e-9);
+        let inf = samples.iter().find(|s| s.metric == "ceiling_inf").unwrap();
+        assert!((inf.value - 3.4).abs() < 1e-9);
+        let kind = samples
+            .iter()
+            .find(|s| s.cell == "STN/batch_dispatch")
+            .unwrap();
+        assert_eq!(kind.metric, "wall_ns");
+        assert!((kind.value - 2e6).abs() < 1e-9);
     }
 
     #[test]

@@ -533,6 +533,14 @@ where
                                             "stop_after reached: aborting with {resolved_this_run} cells resolved"
                                         ));
                                     }
+                                    // A kill is instant: drain nothing
+                                    // further, even completions already
+                                    // queued — otherwise a lagging
+                                    // coordinator journals the whole
+                                    // matrix and the "kill" leaves no
+                                    // work behind. Workers see `abort`
+                                    // and exit; the scope joins them.
+                                    break;
                                 }
                             }
                             CompleteVerdict::Stale => metrics.stale_completions += 1,

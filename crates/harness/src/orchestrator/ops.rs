@@ -82,7 +82,7 @@ impl OpsPlane {
     /// Milliseconds since the plane was created.
     #[must_use]
     pub fn uptime_ms(&self) -> u64 {
-        self.started.elapsed().as_millis() as u64
+        telemetry::saturating_millis(self.started.elapsed())
     }
 
     /// Supervisor tick: absorb the current counters and queue view.

@@ -1,0 +1,716 @@
+//! Host-side self-profiler and parallelism-readiness analyzer.
+//!
+//! Every telemetry layer so far measures *simulated* time; this module
+//! measures where the simulator itself spends *wall-clock* time and how
+//! much same-cycle work is actually independent — the data the
+//! ROADMAP's "intra-run parallelism" item needs before any threading of
+//! the hot loop can be attempted safely.
+//!
+//! Two trackers, both strictly read-only with respect to simulation
+//! state (runs are bit-identical with profiling on, and the whole layer
+//! is skipped behind one `Option` branch when off):
+//!
+//! * [`HostProfiler`] — wall-clock attribution over the event loop.
+//!   Reading `Instant::now()` per event would dwarf the dispatch work
+//!   it measures, so the profiler batches: it counts per-kind dispatches
+//!   into a small window and takes **one** clock sample every
+//!   [`DEFAULT_WINDOW`] events, distributing the window's elapsed
+//!   nanoseconds across kinds proportionally to their dispatch counts.
+//!   Attribution is therefore exact in total (every sampled nanosecond
+//!   lands on some kind; truncation loses at most a few ns per window)
+//!   and statistically accurate per kind. At each sample it also records
+//!   the event queue's near-ring and far-heap depths into histograms.
+//!
+//! * [`CohortTracker`] — deterministic cohort analysis, no clock at
+//!   all. Per executed simulated cycle it records the event-cohort size,
+//!   the distinct SMs represented, and the write-set conflict rate
+//!   (same-cycle events touching the same virtual page; resident pages
+//!   map 1:1 to frames through the flat page table, so page conflicts
+//!   are frame conflicts). From these it accumulates a work-span model:
+//!   `T1` = total events, `T∞` = Σ per-cycle critical paths, where a
+//!   cycle's critical path is its serial (driver-side) events plus the
+//!   larger of its busiest SM's count and its most-contended page's
+//!   multiplicity. The resulting [`CohortProfile`] reduces to
+//!   Amdahl-style speedup ceilings at finite worker counts.
+
+use crate::stats::Histogram;
+use std::time::Instant;
+
+/// How the event loop's dispatch work is classified. Finer than the
+/// raw event enum: a lane wakeup that hits, faults, drains or parks at
+/// a barrier does very different amounts of host work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostKind {
+    /// Lane access that hit in translation (cache access + reschedule).
+    AccessHit = 0,
+    /// Lane access that faulted while the driver was busy (queued).
+    FaultQueued = 1,
+    /// A fault or driver-free event that dispatched a service batch —
+    /// the policy engine, migration and eviction work rides here.
+    BatchDispatch = 2,
+    /// Lane arrived at a kernel barrier.
+    Barrier = 3,
+    /// Lane wakeup with an exhausted stream (drain no-op).
+    LaneDrained = 4,
+    /// Migration completed; waiters replayed.
+    PageReady = 5,
+    /// Driver freed up with no queued faults.
+    DriverIdle = 6,
+}
+
+/// Number of [`HostKind`] variants.
+pub const KIND_COUNT: usize = 7;
+
+/// Stable export labels, indexed by `HostKind as usize`.
+pub const KIND_LABELS: [&str; KIND_COUNT] = [
+    "access_hit",
+    "fault_queued",
+    "batch_dispatch",
+    "barrier",
+    "lane_drained",
+    "page_ready",
+    "driver_idle",
+];
+
+/// Default events-per-clock-sample window. 64 keeps the `Instant`
+/// overhead around 1/64 of a syscall-free clock read per event —
+/// far inside the <5 % budget — while windows stay short enough that
+/// kind mixes within one window are homogeneous in practice.
+pub const DEFAULT_WINDOW: u32 = 64;
+
+/// Finite worker counts the cohort model projects speedup for.
+pub const WORKER_POINTS: [u32; 4] = [2, 4, 8, 16];
+
+/// Allocation/recycle counters for the zero-alloc hot paths, filled in
+/// by the simulator at run end (the slabs live in other crates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocProfile {
+    /// Waiter-slab cells handed out from the free list.
+    pub waiter_reuses: u64,
+    /// Waiter-slab cells that grew the slab.
+    pub waiter_grows: u64,
+    /// Waiter-slab high-water mark (cells ever allocated).
+    pub waiter_high_water: u64,
+    /// Fault batches served entirely from recycled scratch buffers.
+    pub scratch_recycled: u64,
+    /// Fault batches that had to allocate fresh scratch.
+    pub scratch_fresh: u64,
+}
+
+impl AllocProfile {
+    /// Fraction of waiter-cell allocations served by the free list.
+    #[must_use]
+    pub fn waiter_reuse_rate(&self) -> f64 {
+        ratio(self.waiter_reuses, self.waiter_reuses + self.waiter_grows)
+    }
+
+    /// Fraction of batches that reused recycled scratch.
+    #[must_use]
+    pub fn scratch_reuse_rate(&self) -> f64 {
+        ratio(
+            self.scratch_recycled,
+            self.scratch_recycled + self.scratch_fresh,
+        )
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            num as f64 / den as f64
+        }
+    }
+}
+
+/// Deterministic per-cycle cohort reductions (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct CohortProfile {
+    /// Executed cycles that carried at least one event.
+    pub cycles: u64,
+    /// Total events across all cohorts (`T1` of the work-span model).
+    pub events: u64,
+    /// Cohort sizes (events per executed cycle).
+    pub cohort_size: Histogram,
+    /// Distinct SMs represented per executed cycle.
+    pub distinct_sms: Histogram,
+    /// Events that carried a page identity.
+    pub page_events: u64,
+    /// Page-carrying events beyond the first to touch their page in
+    /// the same cycle (the write-set conflict count).
+    pub conflict_events: u64,
+    /// Serial (driver-side) events — no SM identity, inherently ordered.
+    pub serial_events: u64,
+    /// Σ per-cycle critical paths (`T∞` of the work-span model).
+    pub span: u64,
+    /// Modeled execution time at each [`WORKER_POINTS`] worker count.
+    pub time_at: [u64; WORKER_POINTS.len()],
+}
+
+impl CohortProfile {
+    /// Share of page-carrying events that conflicted within their cycle.
+    #[must_use]
+    pub fn conflict_rate(&self) -> f64 {
+        ratio(self.conflict_events, self.page_events)
+    }
+
+    /// Mean cohort size.
+    #[must_use]
+    pub fn mean_size(&self) -> f64 {
+        self.cohort_size.mean()
+    }
+
+    /// Speedup ceiling with unbounded workers: `T1 / T∞`.
+    #[must_use]
+    pub fn ceiling_inf(&self) -> f64 {
+        if self.span == 0 {
+            1.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                (self.events as f64 / self.span as f64).max(1.0)
+            }
+        }
+    }
+
+    /// Speedup ceiling at `workers` (one of [`WORKER_POINTS`]); `None`
+    /// for worker counts the model did not accumulate.
+    #[must_use]
+    pub fn ceiling_at(&self, workers: u32) -> Option<f64> {
+        let i = WORKER_POINTS.iter().position(|&w| w == workers)?;
+        let t = self.time_at[i];
+        Some(if t == 0 {
+            1.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                (self.events as f64 / t as f64).max(1.0)
+            }
+        })
+    }
+
+    /// Serial fraction of all events (the Amdahl `s`).
+    #[must_use]
+    pub fn serial_fraction(&self) -> f64 {
+        ratio(self.serial_events, self.events)
+    }
+}
+
+/// Per-cycle cohort accumulator. Purely deterministic: it reads cycle
+/// numbers, SM ids and page ids from the event stream and never
+/// consults a clock.
+#[derive(Debug)]
+pub struct CohortTracker {
+    current_cycle: u64,
+    open: bool,
+    cohort_events: u32,
+    serial: u32,
+    /// The sole event of a not-yet-materialized singleton cohort. Most
+    /// executed cycles carry exactly one event; holding it in two
+    /// scalars means the vectors below are only touched when a second
+    /// same-cycle event actually arrives.
+    first_sm: Option<u16>,
+    first_page: Option<u64>,
+    /// Per-SM event counts for the open cycle (fixed size, reset via
+    /// `touched` so closing a cohort is O(cohort), not O(sms)).
+    sm_counts: Vec<u32>,
+    touched: Vec<u16>,
+    pages: Vec<u64>,
+    /// Per-value tallies of cohort size / distinct-SM count, folded
+    /// into the profile's histograms once at [`CohortTracker::finish`]
+    /// (a histogram insert per executed cycle is a tree operation —
+    /// too hot for the event loop).
+    size_tally: Vec<u64>,
+    sms_tally: Vec<u64>,
+    profile: CohortProfile,
+}
+
+#[inline]
+fn tally(v: &mut Vec<u64>, value: usize) {
+    if value >= v.len() {
+        v.resize(value + 1, 0);
+    }
+    v[value] += 1;
+}
+
+impl CohortTracker {
+    /// Tracker for a machine with `sms` streaming multiprocessors.
+    #[must_use]
+    pub fn new(sms: usize) -> Self {
+        CohortTracker {
+            current_cycle: 0,
+            open: false,
+            cohort_events: 0,
+            serial: 0,
+            first_sm: None,
+            first_page: None,
+            sm_counts: vec![0; sms],
+            touched: Vec::new(),
+            pages: Vec::new(),
+            size_tally: Vec::new(),
+            sms_tally: Vec::new(),
+            profile: CohortProfile::default(),
+        }
+    }
+
+    /// Record one event executing at `cycle`. `sm` is `None` for
+    /// serial driver-side work; `page` is the virtual page the event
+    /// touches, when it touches one.
+    #[inline]
+    pub fn note(&mut self, cycle: u64, sm: Option<u16>, page: Option<u64>) {
+        if self.open {
+            if cycle == self.current_cycle {
+                if self.cohort_events == 1 {
+                    // A second event joined: materialize the held
+                    // singleton into the vectors.
+                    let (fsm, fpage) = (self.first_sm, self.first_page);
+                    self.record_into_vecs(fsm, fpage);
+                }
+                self.cohort_events += 1;
+                self.serial += u32::from(sm.is_none());
+                self.record_into_vecs(sm, page);
+                return;
+            }
+            self.close_cohort();
+        }
+        self.start(cycle, sm, page);
+    }
+
+    #[inline]
+    fn start(&mut self, cycle: u64, sm: Option<u16>, page: Option<u64>) {
+        self.open = true;
+        self.current_cycle = cycle;
+        self.cohort_events = 1;
+        self.serial = u32::from(sm.is_none());
+        self.first_sm = sm;
+        self.first_page = page;
+    }
+
+    fn record_into_vecs(&mut self, sm: Option<u16>, page: Option<u64>) {
+        if let Some(s) = sm {
+            let idx = s as usize;
+            if idx < self.sm_counts.len() {
+                if self.sm_counts[idx] == 0 {
+                    self.touched.push(s);
+                }
+                self.sm_counts[idx] += 1;
+            }
+        }
+        if let Some(p) = page {
+            self.pages.push(p);
+        }
+    }
+
+    #[inline]
+    fn close_cohort(&mut self) {
+        tally(&mut self.size_tally, self.cohort_events as usize);
+        let prof = &mut self.profile;
+        prof.cycles += 1;
+        prof.serial_events += u64::from(self.serial);
+
+        // Fast path: most executed cycles carry exactly one event. It
+        // was never materialized into the scratch vectors (see `note`),
+        // it can neither conflict nor parallelize, and its critical
+        // path is 1 at every worker count — so the close is purely
+        // scalar. This keeps the profiler inside its <5 % overhead
+        // budget; the reductions are identical to the general path.
+        if self.cohort_events == 1 {
+            tally(&mut self.sms_tally, usize::from(self.first_sm.is_some()));
+            prof.events += 1;
+            prof.page_events += u64::from(self.first_page.is_some());
+            prof.span += 1;
+            for t in &mut prof.time_at {
+                *t += 1;
+            }
+            self.cohort_events = 0;
+            self.serial = 0;
+            return;
+        }
+
+        let n = u64::from(self.cohort_events);
+        tally(&mut self.sms_tally, self.touched.len());
+        prof.events += n;
+
+        // Conflicts: events beyond the first touching each page.
+        self.pages.sort_unstable();
+        let mut max_mult = 0u64;
+        let mut conflicts = 0u64;
+        let mut i = 0usize;
+        while i < self.pages.len() {
+            let mut j = i + 1;
+            while j < self.pages.len() && self.pages[j] == self.pages[i] {
+                j += 1;
+            }
+            let mult = (j - i) as u64;
+            max_mult = max_mult.max(mult);
+            conflicts += mult - 1;
+            i = j;
+        }
+        prof.page_events += self.pages.len() as u64;
+        prof.conflict_events += conflicts;
+
+        // Work-span: parallel work is bounded below by the busiest SM
+        // and by the most-contended page (its touches serialize).
+        let parallel = n - u64::from(self.serial);
+        let busiest = self
+            .touched
+            .iter()
+            .map(|&s| u64::from(self.sm_counts[s as usize]))
+            .max()
+            .unwrap_or(0);
+        let cp_par = busiest.max(max_mult).min(parallel);
+        prof.span += u64::from(self.serial) + cp_par;
+        for (i, &w) in WORKER_POINTS.iter().enumerate() {
+            let spread = parallel.div_ceil(u64::from(w));
+            prof.time_at[i] += u64::from(self.serial) + cp_par.max(spread);
+        }
+
+        // Reset scratch for the next cohort.
+        for s in self.touched.drain(..) {
+            self.sm_counts[s as usize] = 0;
+        }
+        self.pages.clear();
+        self.cohort_events = 0;
+        self.serial = 0;
+    }
+
+    /// Close any open cohort, fold the tallies into the histograms and
+    /// return the reductions.
+    #[must_use]
+    pub fn finish(mut self) -> CohortProfile {
+        if self.open {
+            self.close_cohort();
+        }
+        for (value, &n) in self.size_tally.iter().enumerate() {
+            self.profile.cohort_size.record_n(value as u64, n);
+        }
+        for (value, &n) in self.sms_tally.iter().enumerate() {
+            self.profile.distinct_sms.record_n(value as u64, n);
+        }
+        self.profile
+    }
+}
+
+/// Everything the profiler measured, carried on the run result.
+#[derive(Debug, Clone, Default)]
+pub struct HostProfile {
+    /// Wall nanoseconds from profiler creation to finish (the loop wall
+    /// time the attribution is judged against).
+    pub loop_wall_ns: u64,
+    /// Total events dispatched.
+    pub events: u64,
+    /// Clock samples taken (one per full or final partial window).
+    pub instant_samples: u64,
+    /// Events per clock sample.
+    pub sample_window: u32,
+    /// Dispatch counts per [`HostKind`].
+    pub counts: [u64; KIND_COUNT],
+    /// Attributed wall nanoseconds per [`HostKind`].
+    pub wall_ns: [u64; KIND_COUNT],
+    /// Near-ring depth at each clock sample.
+    pub ring_depth: Histogram,
+    /// Far-heap depth at each clock sample.
+    pub far_depth: Histogram,
+    /// Cohort/conflict reductions.
+    pub cohorts: CohortProfile,
+    /// Zero-alloc path counters.
+    pub alloc: AllocProfile,
+}
+
+impl HostProfile {
+    /// Total wall nanoseconds attributed to event kinds.
+    #[must_use]
+    pub fn attributed_ns(&self) -> u64 {
+        self.wall_ns.iter().sum()
+    }
+
+    /// Attributed share of the loop wall time (≈1.0 by construction;
+    /// per-window truncation and pre-first-event setup are the only
+    /// losses).
+    #[must_use]
+    pub fn attributed_share(&self) -> f64 {
+        if self.loop_wall_ns == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.attributed_ns() as f64 / self.loop_wall_ns as f64
+            }
+        }
+    }
+
+    /// `(label, count, wall_ns)` rows sorted by wall share, descending.
+    #[must_use]
+    pub fn ranked_kinds(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut rows: Vec<_> = (0..KIND_COUNT)
+            .map(|k| (KIND_LABELS[k], self.counts[k], self.wall_ns[k]))
+            .collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+        rows
+    }
+}
+
+/// The batched wall-clock attribution profiler (see module docs).
+#[derive(Debug)]
+pub struct HostProfiler {
+    window: u32,
+    in_window: u32,
+    window_counts: [u32; KIND_COUNT],
+    counts: [u64; KIND_COUNT],
+    wall_ns: [u128; KIND_COUNT],
+    events: u64,
+    samples: u64,
+    last: Instant,
+    started: Instant,
+    ring_depth: Histogram,
+    far_depth: Histogram,
+    cohorts: CohortTracker,
+}
+
+impl HostProfiler {
+    /// Profiler sampling the clock every `window` events, tracking
+    /// cohorts for a machine with `sms` SMs.
+    #[must_use]
+    pub fn new(window: u32, sms: usize) -> Self {
+        let now = Instant::now();
+        HostProfiler {
+            window: window.max(1),
+            in_window: 0,
+            window_counts: [0; KIND_COUNT],
+            counts: [0; KIND_COUNT],
+            wall_ns: [0; KIND_COUNT],
+            events: 0,
+            samples: 0,
+            last: now,
+            started: now,
+            ring_depth: Histogram::new(),
+            far_depth: Histogram::new(),
+            cohorts: CohortTracker::new(sms),
+        }
+    }
+
+    /// Record one dispatched event: its kind, execution cycle, SM and
+    /// page identities (for the cohort model) and the queue depths
+    /// (recorded only at window flushes, so passing them is two loads).
+    #[inline]
+    pub fn note(
+        &mut self,
+        kind: HostKind,
+        cycle: u64,
+        sm: Option<u16>,
+        page: Option<u64>,
+        ring_depth: usize,
+        far_depth: usize,
+    ) {
+        // The totals (`counts`, `events`) are folded in at flush time —
+        // the per-event path is two increments plus the cohort note.
+        self.window_counts[kind as usize] += 1;
+        self.in_window += 1;
+        self.cohorts.note(cycle, sm, page);
+        if self.in_window >= self.window {
+            self.flush(ring_depth, far_depth);
+        }
+    }
+
+    /// Distribute the window's elapsed wall time across the kinds seen
+    /// in it, proportional to their dispatch counts.
+    fn flush(&mut self, ring_depth: usize, far_depth: usize) {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last).as_nanos();
+        self.last = now;
+        self.samples += 1;
+        let total = u128::from(self.in_window);
+        self.events += u64::from(self.in_window);
+        for k in 0..KIND_COUNT {
+            let c = self.window_counts[k];
+            if c > 0 {
+                self.counts[k] += u64::from(c);
+                // total > 0 whenever any count is (c ≤ total), but the
+                // checked form keeps that invariant local.
+                self.wall_ns[k] += (elapsed * u128::from(c)).checked_div(total).unwrap_or(0);
+            }
+        }
+        self.window_counts = [0; KIND_COUNT];
+        self.in_window = 0;
+        self.ring_depth.record(ring_depth as u64);
+        self.far_depth.record(far_depth as u64);
+    }
+
+    /// Flush the partial final window and assemble the profile.
+    /// `alloc` carries the zero-alloc counters the caller read from the
+    /// waiter slab and driver scratch pool.
+    #[must_use]
+    pub fn finish(
+        mut self,
+        ring_depth: usize,
+        far_depth: usize,
+        alloc: AllocProfile,
+    ) -> HostProfile {
+        if self.in_window > 0 {
+            self.flush(ring_depth, far_depth);
+        }
+        let loop_wall = self.started.elapsed().as_nanos();
+        let sat = |v: u128| u64::try_from(v).unwrap_or(u64::MAX);
+        let mut wall_ns = [0u64; KIND_COUNT];
+        for (out, &acc) in wall_ns.iter_mut().zip(self.wall_ns.iter()) {
+            *out = sat(acc);
+        }
+        HostProfile {
+            loop_wall_ns: sat(loop_wall),
+            events: self.events,
+            instant_samples: self.samples,
+            sample_window: self.window,
+            counts: self.counts,
+            wall_ns,
+            ring_depth: self.ring_depth,
+            far_depth: self.far_depth,
+            cohorts: self.cohorts.finish(),
+            alloc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_is_bounded_by_loop_wall() {
+        let mut p = HostProfiler::new(8, 4);
+        for i in 0..1000u64 {
+            let kind = if i % 3 == 0 {
+                HostKind::AccessHit
+            } else {
+                HostKind::PageReady
+            };
+            p.note(kind, i / 4, Some((i % 4) as u16), Some(i % 17), 5, 2);
+            // A little work so windows have nonzero elapsed time.
+            std::hint::black_box(i.wrapping_mul(0x9E37_79B9));
+        }
+        let prof = p.finish(0, 0, AllocProfile::default());
+        assert_eq!(prof.events, 1000);
+        assert_eq!(prof.counts.iter().sum::<u64>(), 1000);
+        assert!(prof.attributed_ns() <= prof.loop_wall_ns);
+        // Batched attribution covers (nearly) everything: each window's
+        // elapsed time is fully distributed, truncation loses ≤7 ns per
+        // window.
+        assert!(
+            prof.attributed_share() > 0.90,
+            "share = {}",
+            prof.attributed_share()
+        );
+        // 1000 events / window 8 = 125 full windows, no partial.
+        assert_eq!(prof.instant_samples, 125);
+        assert_eq!(prof.ring_depth.count(), 125);
+    }
+
+    #[test]
+    fn partial_final_window_is_flushed() {
+        let mut p = HostProfiler::new(64, 1);
+        for i in 0..10u64 {
+            p.note(HostKind::Barrier, i, Some(0), None, 1, 0);
+        }
+        let prof = p.finish(3, 4, AllocProfile::default());
+        assert_eq!(prof.events, 10);
+        assert_eq!(prof.instant_samples, 1);
+        assert_eq!(prof.ring_depth.max(), 3);
+        assert_eq!(prof.far_depth.max(), 4);
+        assert_eq!(prof.counts[HostKind::Barrier as usize], 10);
+    }
+
+    #[test]
+    fn ranked_kinds_sorted_by_wall_share() {
+        let mut prof = HostProfile::default();
+        prof.counts[HostKind::AccessHit as usize] = 5;
+        prof.wall_ns[HostKind::AccessHit as usize] = 100;
+        prof.counts[HostKind::BatchDispatch as usize] = 1;
+        prof.wall_ns[HostKind::BatchDispatch as usize] = 900;
+        let ranked = prof.ranked_kinds();
+        assert_eq!(ranked[0].0, "batch_dispatch");
+        assert_eq!(ranked[0].2, 900);
+        assert_eq!(ranked[1].0, "access_hit");
+    }
+
+    #[test]
+    fn cohorts_split_on_cycle_boundaries() {
+        let mut t = CohortTracker::new(4);
+        // Cycle 10: three events, two SMs, two touching page 7.
+        t.note(10, Some(0), Some(7));
+        t.note(10, Some(1), Some(7));
+        t.note(10, Some(0), Some(9));
+        // Cycle 11: one serial driver event.
+        t.note(11, None, None);
+        let prof = t.finish();
+        assert_eq!(prof.cycles, 2);
+        assert_eq!(prof.events, 4);
+        assert_eq!(prof.cohort_size.max(), 3);
+        assert_eq!(prof.distinct_sms.max(), 2);
+        assert_eq!(prof.page_events, 3);
+        assert_eq!(prof.conflict_events, 1, "page 7 touched twice");
+        assert_eq!(prof.serial_events, 1);
+        assert!((prof.conflict_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_span_model_accumulates_critical_paths() {
+        let mut t = CohortTracker::new(8);
+        // Cycle 1: 4 events on 4 distinct SMs, distinct pages →
+        // critical path 1 (perfectly parallel).
+        for sm in 0..4u16 {
+            t.note(1, Some(sm), Some(u64::from(sm)));
+        }
+        // Cycle 2: 1 serial event → critical path 1.
+        t.note(2, None, None);
+        let prof = t.finish();
+        assert_eq!(prof.events, 5);
+        assert_eq!(prof.span, 2);
+        assert!((prof.ceiling_inf() - 2.5).abs() < 1e-12);
+        // At 2 workers cycle 1 takes ceil(4/2)=2, cycle 2 takes 1.
+        assert!((prof.ceiling_at(2).unwrap() - 5.0 / 3.0).abs() < 1e-12);
+        // ≥4 workers reach the span bound.
+        assert!((prof.ceiling_at(4).unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(prof.ceiling_at(3), None, "unmodeled worker count");
+        assert!((prof.serial_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contended_page_serializes_the_cohort() {
+        let mut t = CohortTracker::new(8);
+        // 4 events on 4 SMs all touching page 3: page multiplicity 4
+        // caps the parallelism despite the SM spread.
+        for sm in 0..4u16 {
+            t.note(5, Some(sm), Some(3));
+        }
+        let prof = t.finish();
+        assert_eq!(prof.span, 4);
+        assert_eq!(prof.conflict_events, 3);
+        assert!((prof.ceiling_inf() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profiler_finishes_cleanly() {
+        let p = HostProfiler::new(64, 2);
+        let prof = p.finish(0, 0, AllocProfile::default());
+        assert_eq!(prof.events, 0);
+        assert_eq!(prof.instant_samples, 0);
+        assert_eq!(prof.attributed_ns(), 0);
+        assert_eq!(prof.cohorts.cycles, 0);
+        assert!((prof.cohorts.ceiling_inf() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alloc_profile_rates() {
+        let a = AllocProfile {
+            waiter_reuses: 90,
+            waiter_grows: 10,
+            waiter_high_water: 10,
+            scratch_recycled: 3,
+            scratch_fresh: 1,
+        };
+        assert!((a.waiter_reuse_rate() - 0.9).abs() < 1e-12);
+        assert!((a.scratch_reuse_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(AllocProfile::default().waiter_reuse_rate(), 0.0);
+    }
+}

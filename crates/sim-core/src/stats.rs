@@ -52,9 +52,18 @@ impl Histogram {
 
     /// Record one observation.
     pub fn record(&mut self, value: u64) {
-        *self.buckets.entry(value).or_insert(0) += 1;
-        self.count += 1;
-        self.sum += value;
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` identical observations in one update (what per-value
+    /// tally folds use — hot loops count locally and fold here once).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.buckets.entry(value).or_insert(0) += n;
+        self.count += n;
+        self.sum += value * n;
         self.max = self.max.max(value);
     }
 
@@ -299,6 +308,78 @@ mod tests {
         let mut big = Histogram::new();
         big.record(u64::MAX);
         assert_eq!(big.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new();
+        bulk.record_n(3, 5);
+        bulk.record_n(9, 2);
+        bulk.record_n(7, 0); // no-op
+        let mut single = Histogram::new();
+        for _ in 0..5 {
+            single.record(3);
+        }
+        for _ in 0..2 {
+            single.record(9);
+        }
+        assert_eq!(bulk.count(), single.count());
+        assert_eq!(bulk.sum(), single.sum());
+        assert_eq!(bulk.max(), single.max());
+        assert_eq!(bulk.p50(), single.p50());
+        assert_eq!(bulk.p95(), single.p95());
+        assert_eq!(
+            bulk.bucket(7),
+            0,
+            "zero-count record_n must not create a bucket"
+        );
+    }
+
+    #[test]
+    fn quantile_rank_boundaries_between_buckets() {
+        // Two buckets of 5: ranks 1..=5 are value 1, ranks 6..=10 are
+        // value 9. The nearest-rank boundary sits exactly at q = 0.5.
+        let mut h = Histogram::new();
+        for _ in 0..5 {
+            h.record(1);
+        }
+        for _ in 0..5 {
+            h.record(9);
+        }
+        assert_eq!(h.quantile(0.5), 1, "rank 5 is still the low bucket");
+        assert_eq!(h.quantile(0.500_001), 9, "rank 6 crosses over");
+        assert_eq!(h.p95(), 9);
+        assert_eq!(h.quantile(0.1), 1);
+    }
+
+    #[test]
+    fn quantile_tiny_q_on_large_count_hits_minimum() {
+        // ⌈q·count⌉ rounds to 0 for tiny q; the rank floor of 1 must
+        // keep the answer at the minimum, not skip every bucket.
+        let mut h = Histogram::new();
+        for v in [4, 8, 15] {
+            for _ in 0..1000 {
+                h.record(v);
+            }
+        }
+        assert_eq!(h.quantile(1e-9), 4);
+        assert_eq!(h.quantile(0.999_999), 15);
+    }
+
+    #[test]
+    fn zero_valued_observations_are_real_samples() {
+        // A histogram of zeros is not "empty": count advances, the
+        // quantiles legitimately report 0 and mean stays 0.
+        let mut h = Histogram::new();
+        for _ in 0..3 {
+            h.record(0);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.bucket(0), 3);
+        assert_eq!(h.mean(), 0.0);
     }
 
     #[test]

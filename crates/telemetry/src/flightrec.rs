@@ -49,7 +49,7 @@ impl FlightRecorder {
     /// Wall-clock milliseconds since the recorder started.
     #[must_use]
     pub fn wall_ms(&self) -> u64 {
-        self.started.elapsed().as_millis() as u64
+        crate::monitor::saturating_millis(self.started.elapsed())
     }
 
     /// Append a breadcrumb (oldest dropped at capacity).

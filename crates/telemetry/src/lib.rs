@@ -80,7 +80,7 @@ pub use expose::{OpsSource, StatusServer};
 pub use flightrec::FlightRecorder;
 pub use ledger::{PageLedger, PageLife};
 pub use metrics::{EpochRow, EpochSeries, MetricKind, MetricsRegistry};
-pub use monitor::{Monitor, MonitorSeries, MonitorSnapshot};
+pub use monitor::{saturating_millis, Monitor, MonitorSeries, MonitorSnapshot};
 pub use orch::OrchMetrics;
 pub use ring::TraceRing;
 pub use span::{SpanId, SpanRecord, SpanRecorder, SpanStage};

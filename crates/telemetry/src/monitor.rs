@@ -25,6 +25,18 @@ use std::time::{Duration, Instant};
 /// Schema marker for monitor snapshot dumps.
 pub const MONITOR_SCHEMA: &str = "cppe-monitor-v1";
 
+/// A [`Duration`] as whole milliseconds, saturating at `u64::MAX`.
+///
+/// `Duration::as_millis` returns `u128`; the `as u64` narrowing the
+/// telemetry structs used to do silently wraps for durations past
+/// ~584 million years. Unreachable in practice, but wall-clock fields
+/// feed monotonicity checks in validators — saturate instead of wrap
+/// so even absurd clock readings can never produce a *smaller* value.
+#[must_use]
+pub fn saturating_millis(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
 /// One sampled snapshot: every registered metric total at one instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MonitorSnapshot {
@@ -130,7 +142,7 @@ impl Monitor {
         let snap = MonitorSnapshot {
             seq: self.sampled,
             cycle,
-            wall_ms: self.started.elapsed().as_millis() as u64,
+            wall_ms: saturating_millis(self.started.elapsed()),
             totals: registry.iter().map(|(_, _, v)| v).collect(),
         };
         self.sampled += 1;
@@ -306,6 +318,21 @@ mod tests {
         r.set("a.count", MetricKind::Counter, 1);
         r.set("b.level", MetricKind::Gauge, 10);
         r
+    }
+
+    #[test]
+    fn saturating_millis_never_wraps() {
+        assert_eq!(saturating_millis(Duration::ZERO), 0);
+        assert_eq!(saturating_millis(Duration::from_millis(1234)), 1234);
+        // In-range u128 millis convert exactly...
+        assert_eq!(
+            saturating_millis(Duration::from_secs(u64::MAX / 1000)),
+            (u64::MAX / 1000) * 1000
+        );
+        // ...while Duration::MAX (~5.8e17 s → millis > u64::MAX) pins to
+        // the ceiling instead of wrapping to a tiny value like `as u64`.
+        assert_eq!(saturating_millis(Duration::MAX), u64::MAX);
+        assert!(Duration::MAX.as_millis() > u128::from(u64::MAX));
     }
 
     #[test]
