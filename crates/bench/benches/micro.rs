@@ -75,6 +75,93 @@ fn tlb_ops(c: &mut Criterion) {
     g.finish();
 }
 
+fn tlb_probe_vs_legacy(c: &mut Criterion) {
+    use gmmu::tlb::legacy::ScanTlb;
+
+    // PR 10: the indexed probe (open-addressed key index + intrusive
+    // LRU) against the seed's way scan with min-stamp victim search, on
+    // the same L2 geometry. Hits probe a warm working set; the
+    // miss path measures insert-with-evict churn.
+    let mut g = c.benchmark_group("tlb_probe_vs_legacy");
+    g.bench_function("indexed_lookup_hit", |b| {
+        let mut tlb = Tlb::new(TlbConfig::l2_default());
+        for i in 0..512u64 {
+            tlb.insert(VirtPage(i), Frame(i as u32));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(tlb.lookup(VirtPage(i)))
+        });
+    });
+    g.bench_function("scan_lookup_hit", |b| {
+        let mut tlb = ScanTlb::new(TlbConfig::l2_default());
+        for i in 0..512u64 {
+            tlb.insert(VirtPage(i), Frame(i as u32));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(tlb.lookup(VirtPage(i)))
+        });
+    });
+    g.bench_function("indexed_miss_insert_evict", |b| {
+        let mut tlb = Tlb::new(TlbConfig::l2_default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tlb.lookup(VirtPage(i));
+            black_box(tlb.insert(VirtPage(i), Frame(i as u32)))
+        });
+    });
+    g.bench_function("scan_miss_insert_evict", |b| {
+        let mut tlb = ScanTlb::new(TlbConfig::l2_default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tlb.lookup(VirtPage(i));
+            black_box(tlb.insert(VirtPage(i), Frame(i as u32)))
+        });
+    });
+    g.finish();
+}
+
+fn streak_vs_roundtrip(c: &mut Criterion) {
+    use cppe::presets::PolicyPreset;
+    use gpu::GpuConfig;
+    use workloads::types::{AccessStep, LaneItem};
+
+    // PR 10: the lane run-ahead streak against the per-access event
+    // round-trip, end to end. A single lane over a fully resident
+    // working set is pure hit path — with `fast_lane` on, the engine
+    // executes bounded streaks inline; off, every access pops and
+    // pushes the calendar queue.
+    const FOOTPRINT: u64 = 48;
+    let streams: Vec<Vec<LaneItem>> = vec![(0..20_000u64)
+        .map(|i| {
+            LaneItem::Access(AccessStep {
+                page: VirtPage(i % FOOTPRINT),
+                compute: (i % 8) as u32,
+            })
+        })
+        .collect()];
+    let mut g = c.benchmark_group("streak_vs_roundtrip");
+    g.sample_size(20);
+    for (label, fast_lane) in [("fast_lane_streak", true), ("event_roundtrip", false)] {
+        g.bench_function(label, |b| {
+            let cfg = GpuConfig {
+                fast_lane,
+                ..GpuConfig::default()
+            };
+            b.iter(|| {
+                let engine = PolicyPreset::Cppe.build(7);
+                black_box(gpu::simulate(&cfg, engine, &streams, 64, FOOTPRINT))
+            });
+        });
+    }
+    g.finish();
+}
+
 fn walker_ops(c: &mut Criterion) {
     c.bench_function("walker_warm_walk", |b| {
         let mut w = Walker::new(WalkerConfig::default());
@@ -213,6 +300,8 @@ criterion_group!(
     micro,
     chain_ops,
     tlb_ops,
+    tlb_probe_vs_legacy,
+    streak_vs_roundtrip,
     walker_ops,
     pattern_ops,
     event_queue_ops,

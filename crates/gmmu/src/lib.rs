@@ -14,6 +14,8 @@
 //!
 //! The module split mirrors the hardware:
 //! * [`types`] — virtual pages, chunks (16 pages / 64 KB), frames,
+//! * [`assoc`] — the indexed set-associative LRU store backing the
+//!   TLBs and the page-walk cache (hit-path fast lane),
 //! * [`tlb`] — a generic set-associative LRU TLB,
 //! * [`page_table`] — the radix page table holding residency state,
 //! * [`walk_cache`] — the shared page-walk cache,
@@ -21,6 +23,7 @@
 //! * [`translation`] — the end-to-end translation path used by the
 //!   `gpu` crate (L1 → L2 → walk → hit or page fault).
 
+pub mod assoc;
 pub mod page_table;
 pub mod tlb;
 pub mod translation;

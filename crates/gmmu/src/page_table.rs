@@ -56,7 +56,7 @@ pub enum Residency {
 ///
 /// The prefix is the VPN shifted so that two pages mapped by the same
 /// node at that level produce the same `NodeId`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId {
     /// 4 = root's children ... 2 = the node holding leaf PTE pointers.
     pub level: u32,
@@ -203,16 +203,21 @@ impl PageTable {
 
     /// Set the access bit of a resident page (called on every SM access).
     /// No-op if the page is not resident (the access is about to fault).
+    /// Early-exits without writing when the bit is already set — the
+    /// warm-hit common case, which would otherwise dirty a packed-u64
+    /// cache line on every access.
     #[inline]
     pub fn mark_touched(&mut self, page: VirtPage) {
         if page.0 < FLAT_LIMIT {
             if let Some(s) = self.slots.get_mut(page.0 as usize) {
-                if *s & PRESENT != 0 {
+                if *s & (PRESENT | TOUCHED) == PRESENT {
                     *s |= TOUCHED;
                 }
             }
         } else if let Some(e) = self.spill.get_mut(&page) {
-            e.touched = true;
+            if !e.touched {
+                e.touched = true;
+            }
         }
     }
 

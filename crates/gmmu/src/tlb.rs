@@ -8,16 +8,27 @@
 //! memory must shoot the translation down from every TLB, which the
 //! `uvm` driver does through [`Tlb::invalidate`].
 //!
-//! Ways live in one flat fixed-width array (`n_sets × associativity`
-//! slots, per-set fill counts) instead of per-set `Vec`s: a set's ways
-//! are contiguous, so lookup scans stay in one or two cache lines and
-//! construction does one allocation. Within a set the semantics mirror
-//! the obvious `Vec` exactly — new ways append at the fill mark,
-//! removal swaps the last filled way into the hole — so replacement
-//! behaviour (and therefore every simulated hit/miss) is unchanged.
+//! Probes and replacement run on [`IndexedSets`]: an open-addressed
+//! key → slot index plus per-set intrusive LRU lists, so a lookup is a
+//! couple of index probes instead of a scan over every filled way and
+//! the replacement victim is the list tail instead of a min-stamp scan.
+//! For the fully-associative 128-entry L1 that turns up to three
+//! 128-way scans per access (miss probe, insert existence check, victim
+//! search) into O(1) work. Replacement behaviour is exactly the seed's
+//! true-LRU — `legacy::ScanTlb` keeps the scan implementation alive and
+//! a model test drives both through random op streams to prove every
+//! hit, miss and victim choice identical.
 
+use crate::assoc::{mix64, IndexKey, IndexedSets};
 use crate::types::{Frame, VirtPage};
 use sim_core::stats::Counter;
+
+impl IndexKey for VirtPage {
+    #[inline]
+    fn index_hash(self) -> u64 {
+        mix64(self.0)
+    }
+}
 
 /// TLB geometry and timing.
 #[derive(Debug, Clone, Copy)]
@@ -54,30 +65,12 @@ impl TlbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    page: VirtPage,
-    frame: Frame,
-    /// Monotone use stamp for LRU (larger = more recent).
-    stamp: u64,
-}
-
-const EMPTY_WAY: Way = Way {
-    page: VirtPage(u64::MAX),
-    frame: Frame(0),
-    stamp: 0,
-};
-
 /// A set-associative TLB with true-LRU replacement.
 #[derive(Debug)]
 pub struct Tlb {
     cfg: TlbConfig,
-    /// Flat way storage: set `s` occupies `ways[s*assoc .. s*assoc+lens[s]]`.
-    ways: Vec<Way>,
-    /// Filled ways per set.
-    lens: Vec<u32>,
+    sets: IndexedSets<VirtPage, Frame>,
     n_sets: usize,
-    tick: u64,
     /// Lookup hits.
     pub hits: Counter,
     /// Lookup misses.
@@ -102,10 +95,8 @@ impl Tlb {
         let n_sets = cfg.entries / cfg.associativity;
         Tlb {
             cfg,
-            ways: vec![EMPTY_WAY; cfg.entries],
-            lens: vec![0; n_sets],
+            sets: IndexedSets::new(n_sets, cfg.associativity),
             n_sets,
-            tick: 0,
             hits: Counter::default(),
             misses: Counter::default(),
         }
@@ -116,25 +107,13 @@ impl Tlb {
         (page.0 % self.n_sets as u64) as usize
     }
 
-    /// Filled slice of set `set`.
-    #[inline]
-    fn set_ways(&self, set: usize) -> &[Way] {
-        let base = set * self.cfg.associativity;
-        &self.ways[base..base + self.lens[set] as usize]
-    }
-
     /// Look up `page`, updating LRU state and hit/miss counters.
     /// Returns the cached frame on a hit.
+    #[inline]
     pub fn lookup(&mut self, page: VirtPage) -> Option<Frame> {
-        self.tick += 1;
-        let tick = self.tick;
-        let set = self.set_index(page);
-        let base = set * self.cfg.associativity;
-        let filled = &mut self.ways[base..base + self.lens[set] as usize];
-        if let Some(way) = filled.iter_mut().find(|w| w.page == page) {
-            way.stamp = tick;
+        if let Some(frame) = self.sets.get(page) {
             self.hits.inc();
-            Some(way.frame)
+            Some(frame)
         } else {
             self.misses.inc();
             None
@@ -145,70 +124,25 @@ impl Tlb {
     /// by coherence assertions in the `gpu` crate).
     #[must_use]
     pub fn probe(&self, page: VirtPage) -> Option<Frame> {
-        self.set_ways(self.set_index(page))
-            .iter()
-            .find(|w| w.page == page)
-            .map(|w| w.frame)
+        self.sets.peek(page)
     }
 
     /// Install (or refresh) a translation, evicting the set's LRU way if
     /// the set is full. Returns the victim translation, if any.
+    #[inline]
     pub fn insert(&mut self, page: VirtPage, frame: Frame) -> Option<(VirtPage, Frame)> {
-        self.tick += 1;
-        let tick = self.tick;
-        let set = self.set_index(page);
-        let assoc = self.cfg.associativity;
-        let base = set * assoc;
-        let len = self.lens[set] as usize;
-        let filled = &mut self.ways[base..base + len];
-        if let Some(way) = filled.iter_mut().find(|w| w.page == page) {
-            way.frame = frame;
-            way.stamp = tick;
-            return None;
-        }
-        let mut victim = None;
-        let mut slot = len;
-        if len == assoc {
-            let lru = filled
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.stamp)
-                .map(|(i, _)| i)
-                .expect("full set has ways");
-            let w = filled[lru];
-            victim = Some((w.page, w.frame));
-            slot = lru;
-        } else {
-            self.lens[set] += 1;
-        }
-        self.ways[base + slot] = Way {
-            page,
-            frame,
-            stamp: tick,
-        };
-        victim
+        self.sets.insert(self.set_index(page), page, frame)
     }
 
     /// Shoot down the translation for `page`. Returns true if present.
     pub fn invalidate(&mut self, page: VirtPage) -> bool {
-        let set = self.set_index(page);
-        let base = set * self.cfg.associativity;
-        let len = self.lens[set] as usize;
-        let filled = &mut self.ways[base..base + len];
-        if let Some(pos) = filled.iter().position(|w| w.page == page) {
-            filled[pos] = filled[len - 1];
-            self.ways[base + len - 1] = EMPTY_WAY;
-            self.lens[set] -= 1;
-            true
-        } else {
-            false
-        }
+        self.sets.remove(page)
     }
 
-    /// Drop every translation.
+    /// Drop every translation (generation bump — the index is not
+    /// walked).
     pub fn flush(&mut self) {
-        self.ways.fill(EMPTY_WAY);
-        self.lens.fill(0);
+        self.sets.clear();
     }
 
     /// Hit latency from the config.
@@ -220,7 +154,168 @@ impl Tlb {
     /// Number of currently valid entries.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.lens.iter().map(|&l| l as usize).sum()
+        self.sets.occupancy()
+    }
+}
+
+/// The seed's scan-based TLB, kept for the `compare-bench` microbenches
+/// (probe-vs-legacy-lookup) and the equivalence model test below. Same
+/// observable semantics as [`Tlb`]: true LRU by monotone use stamp.
+#[cfg(any(test, feature = "compare-bench"))]
+pub mod legacy {
+    use super::TlbConfig;
+    use crate::types::{Frame, VirtPage};
+    use sim_core::stats::Counter;
+
+    #[derive(Debug, Clone, Copy)]
+    struct Way {
+        page: VirtPage,
+        frame: Frame,
+        /// Monotone use stamp for LRU (larger = more recent).
+        stamp: u64,
+    }
+
+    const EMPTY_WAY: Way = Way {
+        page: VirtPage(u64::MAX),
+        frame: Frame(0),
+        stamp: 0,
+    };
+
+    /// Scan-probed set-associative TLB (the pre-fast-lane structure).
+    #[derive(Debug)]
+    pub struct ScanTlb {
+        cfg: TlbConfig,
+        /// Flat way storage: set `s` occupies
+        /// `ways[s*assoc .. s*assoc+lens[s]]`.
+        ways: Vec<Way>,
+        /// Filled ways per set.
+        lens: Vec<u32>,
+        n_sets: usize,
+        tick: u64,
+        /// Lookup hits.
+        pub hits: Counter,
+        /// Lookup misses.
+        pub misses: Counter,
+    }
+
+    impl ScanTlb {
+        /// Build a TLB from `cfg`.
+        ///
+        /// # Panics
+        /// Panics on degenerate geometry.
+        #[must_use]
+        pub fn new(cfg: TlbConfig) -> Self {
+            assert!(cfg.entries > 0 && cfg.associativity > 0);
+            assert!(cfg.entries.is_multiple_of(cfg.associativity));
+            let n_sets = cfg.entries / cfg.associativity;
+            ScanTlb {
+                cfg,
+                ways: vec![EMPTY_WAY; cfg.entries],
+                lens: vec![0; n_sets],
+                n_sets,
+                tick: 0,
+                hits: Counter::default(),
+                misses: Counter::default(),
+            }
+        }
+
+        #[inline]
+        fn set_index(&self, page: VirtPage) -> usize {
+            (page.0 % self.n_sets as u64) as usize
+        }
+
+        /// Look up `page`, updating LRU state and counters.
+        pub fn lookup(&mut self, page: VirtPage) -> Option<Frame> {
+            self.tick += 1;
+            let tick = self.tick;
+            let set = self.set_index(page);
+            let base = set * self.cfg.associativity;
+            let filled = &mut self.ways[base..base + self.lens[set] as usize];
+            if let Some(way) = filled.iter_mut().find(|w| w.page == page) {
+                way.stamp = tick;
+                self.hits.inc();
+                Some(way.frame)
+            } else {
+                self.misses.inc();
+                None
+            }
+        }
+
+        /// Peek without touching LRU state or counters.
+        #[must_use]
+        pub fn probe(&self, page: VirtPage) -> Option<Frame> {
+            let set = self.set_index(page);
+            let base = set * self.cfg.associativity;
+            self.ways[base..base + self.lens[set] as usize]
+                .iter()
+                .find(|w| w.page == page)
+                .map(|w| w.frame)
+        }
+
+        /// Install or refresh, evicting the min-stamp way of a full set.
+        pub fn insert(&mut self, page: VirtPage, frame: Frame) -> Option<(VirtPage, Frame)> {
+            self.tick += 1;
+            let tick = self.tick;
+            let set = self.set_index(page);
+            let assoc = self.cfg.associativity;
+            let base = set * assoc;
+            let len = self.lens[set] as usize;
+            let filled = &mut self.ways[base..base + len];
+            if let Some(way) = filled.iter_mut().find(|w| w.page == page) {
+                way.frame = frame;
+                way.stamp = tick;
+                return None;
+            }
+            let mut victim = None;
+            let mut slot = len;
+            if len == assoc {
+                let lru = filled
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.stamp)
+                    .map(|(i, _)| i)
+                    .expect("full set has ways");
+                let w = filled[lru];
+                victim = Some((w.page, w.frame));
+                slot = lru;
+            } else {
+                self.lens[set] += 1;
+            }
+            self.ways[base + slot] = Way {
+                page,
+                frame,
+                stamp: tick,
+            };
+            victim
+        }
+
+        /// Shoot down `page`'s translation. Returns true if present.
+        pub fn invalidate(&mut self, page: VirtPage) -> bool {
+            let set = self.set_index(page);
+            let base = set * self.cfg.associativity;
+            let len = self.lens[set] as usize;
+            let filled = &mut self.ways[base..base + len];
+            if let Some(pos) = filled.iter().position(|w| w.page == page) {
+                filled[pos] = filled[len - 1];
+                self.ways[base + len - 1] = EMPTY_WAY;
+                self.lens[set] -= 1;
+                true
+            } else {
+                false
+            }
+        }
+
+        /// Drop every translation.
+        pub fn flush(&mut self) {
+            self.ways.fill(EMPTY_WAY);
+            self.lens.fill(0);
+        }
+
+        /// Number of currently valid entries.
+        #[must_use]
+        pub fn occupancy(&self) -> usize {
+            self.lens.iter().map(|&l| l as usize).sum()
+        }
     }
 }
 
@@ -289,6 +384,9 @@ mod tests {
         assert_eq!(t.occupancy(), 4);
         t.flush();
         assert_eq!(t.occupancy(), 0);
+        for i in 0..4 {
+            assert_eq!(t.probe(VirtPage(i)), None);
+        }
     }
 
     #[test]
@@ -352,5 +450,73 @@ mod tests {
         assert_eq!(t.probe(VirtPage(2)), Some(Frame(2)));
         assert_eq!(t.probe(VirtPage(4)), Some(Frame(4)));
         assert_eq!(t.occupancy(), 2);
+    }
+
+    /// Model-based equivalence with the seed's scan implementation:
+    /// millions of random lookup/insert/invalidate/flush ops over both
+    /// the fully-associative L1 geometry and the 16-way L2 geometry
+    /// must agree on every result, victim and counter. This is the
+    /// local half of the bit-identity contract (the golden fingerprints
+    /// in `tests/perf_identity.rs` are the end-to-end half).
+    #[test]
+    fn indexed_tlb_matches_scan_tlb_on_random_ops() {
+        for cfg in [
+            TlbConfig {
+                entries: 16,
+                associativity: 16,
+                hit_latency: 1,
+            },
+            TlbConfig {
+                entries: 32,
+                associativity: 4,
+                hit_latency: 10,
+            },
+        ] {
+            let mut new = Tlb::new(cfg);
+            let mut old = legacy::ScanTlb::new(cfg);
+            let mut x: u64 = 0x1357_9BDF_2468_ACE0 ^ cfg.associativity as u64;
+            for step in 0..200_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let page = VirtPage(x % 48); // ~3× capacity → constant churn
+                match (x >> 8) % 16 {
+                    0..=5 => {
+                        assert_eq!(
+                            new.lookup(page),
+                            old.lookup(page),
+                            "lookup({page:?}) at step {step}"
+                        );
+                    }
+                    6..=11 => {
+                        assert_eq!(
+                            new.insert(page, Frame((x >> 16) as u32)),
+                            old.insert(page, Frame((x >> 16) as u32)),
+                            "insert({page:?}) victim at step {step}"
+                        );
+                    }
+                    12 | 13 => {
+                        assert_eq!(
+                            new.invalidate(page),
+                            old.invalidate(page),
+                            "invalidate({page:?}) at step {step}"
+                        );
+                    }
+                    14 => {
+                        assert_eq!(new.probe(page), old.probe(page));
+                    }
+                    _ => {
+                        if (x >> 24).is_multiple_of(64) {
+                            new.flush();
+                            old.flush();
+                        }
+                    }
+                }
+                assert_eq!(new.occupancy(), old.occupancy(), "occupancy at {step}");
+            }
+            assert_eq!(new.hits.get(), old.hits.get());
+            assert_eq!(new.misses.get(), old.misses.get());
+            assert!(new.hits.get() > 1000, "model test never hit");
+        }
     }
 }

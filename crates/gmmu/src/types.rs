@@ -35,7 +35,7 @@ impl VirtAddr {
 }
 
 /// A virtual page number (address / 4 KB).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtPage(pub u64);
 
 impl VirtPage {
@@ -94,7 +94,7 @@ impl ChunkId {
 }
 
 /// A physical GPU frame number (4 KB granularity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Frame(pub u32);
 
 /// Identifier for a streaming multiprocessor (0..28 by default).

@@ -4,18 +4,33 @@
 //! page-table nodes (levels 2–4); a hit at level *k* lets the walker skip
 //! the memory references for levels ≥ *k*. With 8-byte entries, 8 KB
 //! gives 1024 entries in 64 sets of 16 ways.
+//!
+//! Like [`crate::tlb::Tlb`], probes run on [`IndexedSets`] instead of a
+//! per-set scan. The PWC sits on the hot path of every L2-TLB miss —
+//! each walk costs one lookup plus up to three inserts, each of which
+//! used to scan a 16-way set. Replacement stays exact true LRU
+//! (bit-identical to the seed's min-stamp scan; see the equivalence
+//! test against `legacy::ScanWalkCache`).
 
+use crate::assoc::{mix64, IndexKey, IndexedSets};
 use crate::page_table::NodeId;
 use sim_core::stats::Counter;
+
+impl IndexKey for NodeId {
+    #[inline]
+    fn index_hash(self) -> u64 {
+        // Fold level into the prefix above any realistic VPN bits so
+        // different levels of the same prefix never alias in the index.
+        mix64(self.prefix ^ (u64::from(self.level) << 56))
+    }
+}
 
 /// Set-associative cache over [`NodeId`]s with true-LRU replacement.
 #[derive(Debug)]
 pub struct WalkCache {
-    sets: Vec<Vec<(NodeId, u64)>>,
+    sets: IndexedSets<NodeId, ()>,
     n_sets: usize,
-    assoc: usize,
     hit_latency: u64,
-    tick: u64,
     /// Probe hits.
     pub hits: Counter,
     /// Probe misses.
@@ -38,11 +53,9 @@ impl WalkCache {
         assert!(entries > 0 && assoc > 0 && entries.is_multiple_of(assoc));
         let n_sets = entries / assoc;
         WalkCache {
-            sets: (0..n_sets).map(|_| Vec::with_capacity(assoc)).collect(),
+            sets: IndexedSets::new(n_sets, assoc),
             n_sets,
-            assoc,
             hit_latency,
-            tick: 0,
             hits: Counter::default(),
             misses: Counter::default(),
         }
@@ -56,12 +69,9 @@ impl WalkCache {
     }
 
     /// Probe for `node`, updating LRU and counters.
+    #[inline]
     pub fn lookup(&mut self, node: NodeId) -> bool {
-        self.tick += 1;
-        let tick = self.tick;
-        let set = self.set_index(node);
-        if let Some(way) = self.sets[set].iter_mut().find(|(n, _)| *n == node) {
-            way.1 = tick;
+        if self.sets.get(node).is_some() {
             self.hits.inc();
             true
         } else {
@@ -71,32 +81,107 @@ impl WalkCache {
     }
 
     /// Fill `node` after a walk fetched it from memory.
+    #[inline]
     pub fn insert(&mut self, node: NodeId) {
-        self.tick += 1;
-        let tick = self.tick;
-        let set = self.set_index(node);
-        let assoc = self.assoc;
-        let ways = &mut self.sets[set];
-        if let Some(way) = ways.iter_mut().find(|(n, _)| *n == node) {
-            way.1 = tick;
-            return;
-        }
-        if ways.len() == assoc {
-            let lru = ways
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, s))| *s)
-                .map(|(i, _)| i)
-                .expect("full set");
-            ways.swap_remove(lru);
-        }
-        ways.push((node, tick));
+        self.sets.insert(self.set_index(node), node, ());
     }
 
     /// Hit latency in cycles.
     #[must_use]
     pub fn hit_latency(&self) -> u64 {
         self.hit_latency
+    }
+}
+
+/// The seed's scan-based PWC, kept for the equivalence model test and
+/// the `compare-bench` microbenches.
+#[cfg(any(test, feature = "compare-bench"))]
+pub mod legacy {
+    use crate::page_table::NodeId;
+    use sim_core::stats::Counter;
+
+    /// Scan-probed set-associative node cache (pre-fast-lane structure).
+    #[derive(Debug)]
+    pub struct ScanWalkCache {
+        sets: Vec<Vec<(NodeId, u64)>>,
+        n_sets: usize,
+        assoc: usize,
+        hit_latency: u64,
+        tick: u64,
+        /// Probe hits.
+        pub hits: Counter,
+        /// Probe misses.
+        pub misses: Counter,
+    }
+
+    impl ScanWalkCache {
+        /// Build a PWC with `entries` total entries and `assoc` ways.
+        ///
+        /// # Panics
+        /// Panics on degenerate geometry.
+        #[must_use]
+        pub fn new(entries: usize, assoc: usize, hit_latency: u64) -> Self {
+            assert!(entries > 0 && assoc > 0 && entries.is_multiple_of(assoc));
+            let n_sets = entries / assoc;
+            ScanWalkCache {
+                sets: (0..n_sets).map(|_| Vec::with_capacity(assoc)).collect(),
+                n_sets,
+                assoc,
+                hit_latency,
+                tick: 0,
+                hits: Counter::default(),
+                misses: Counter::default(),
+            }
+        }
+
+        #[inline]
+        fn set_index(&self, node: NodeId) -> usize {
+            ((node.prefix ^ (u64::from(node.level) << 61)) % self.n_sets as u64) as usize
+        }
+
+        /// Probe for `node`, updating LRU and counters.
+        pub fn lookup(&mut self, node: NodeId) -> bool {
+            self.tick += 1;
+            let tick = self.tick;
+            let set = self.set_index(node);
+            if let Some(way) = self.sets[set].iter_mut().find(|(n, _)| *n == node) {
+                way.1 = tick;
+                self.hits.inc();
+                true
+            } else {
+                self.misses.inc();
+                false
+            }
+        }
+
+        /// Fill `node` after a walk fetched it from memory.
+        pub fn insert(&mut self, node: NodeId) {
+            self.tick += 1;
+            let tick = self.tick;
+            let set = self.set_index(node);
+            let assoc = self.assoc;
+            let ways = &mut self.sets[set];
+            if let Some(way) = ways.iter_mut().find(|(n, _)| *n == node) {
+                way.1 = tick;
+                return;
+            }
+            if ways.len() == assoc {
+                let lru = ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, s))| *s)
+                    .map(|(i, _)| i)
+                    .expect("full set");
+                ways.swap_remove(lru);
+            }
+            ways.push((node, tick));
+        }
+
+        /// Hit latency in cycles.
+        #[must_use]
+        pub fn hit_latency(&self) -> u64 {
+            self.hit_latency
+        }
     }
 }
 
@@ -159,5 +244,34 @@ mod tests {
         let l3 = node_for(VirtPage(0), 3);
         pwc.insert(l2);
         assert!(!pwc.lookup(l3), "level-3 node must not hit on level-2 fill");
+    }
+
+    /// Random walk-shaped op streams through both implementations must
+    /// agree on every probe result and counter — the PWC half of the
+    /// bit-identity contract.
+    #[test]
+    fn indexed_pwc_matches_scan_pwc_on_random_ops() {
+        let mut new = WalkCache::new(64, 16, 10); // 4 sets → heavy churn
+        let mut old = legacy::ScanWalkCache::new(64, 16, 10);
+        let mut x: u64 = 0xD1B5_4A32_D192_ED03;
+        for step in 0..200_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let node = node_for(VirtPage((x % 4096) << 9), 2 + (x >> 32) as u32 % 3);
+            if (x >> 8).is_multiple_of(2) {
+                assert_eq!(
+                    new.lookup(node),
+                    old.lookup(node),
+                    "lookup({node:?}) at step {step}"
+                );
+            } else {
+                new.insert(node);
+                old.insert(node);
+            }
+        }
+        assert_eq!(new.hits.get(), old.hits.get());
+        assert_eq!(new.misses.get(), old.misses.get());
+        assert!(new.hits.get() > 1000, "model test never hit");
     }
 }

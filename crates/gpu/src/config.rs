@@ -68,6 +68,15 @@ pub struct GpuConfig {
     /// bit-identical with it on) and when off the loop pays a single
     /// `Option` branch per event.
     pub hostprof: bool,
+    /// Hit-path fast lane: when a lane's translation hits and its next
+    /// access is provably another hit with no event scheduled to fire
+    /// first, execute a bounded streak of accesses inline instead of
+    /// round-tripping each one through the event queue. Bit-identical
+    /// by construction (the hazard check falls back to the
+    /// one-event-per-access path whenever identity could be at risk);
+    /// on by default. The flag exists so the equivalence property
+    /// tests can drive both paths.
+    pub fast_lane: bool,
 }
 
 impl Default for GpuConfig {
@@ -90,6 +99,7 @@ impl Default for GpuConfig {
             resilience: ResilienceConfig::default(),
             trace: TraceConfig::default(),
             hostprof: false,
+            fast_lane: true,
         }
     }
 }
@@ -128,6 +138,9 @@ mod tests {
         assert!(!c.trace.enabled);
         assert!(!c.trace.audit, "decision auditing is opt-in");
         assert!(!c.hostprof, "host self-profiling is opt-in");
+        // The fast lane is bit-identical to the legacy path, so it is
+        // on by default (opt-out, for the equivalence tests).
+        assert!(c.fast_lane);
         assert!(c.validate().is_ok());
     }
 

@@ -162,6 +162,96 @@ enum Event {
     DriverFree,
 }
 
+/// Longest run of consecutive accesses one lane may execute inline
+/// before the fast lane forcibly round-trips through the event queue.
+/// Purely a fairness/bounds guard — the hazard check alone guarantees
+/// bit-identity — sized so a streak never starves the far heap's
+/// `drain_far` migration for long.
+const MAX_STREAK: u32 = 128;
+
+/// Record a host-profiler event — the profiler is optional and strictly
+/// read-only, so every site is the same `if let` around a `note` call.
+macro_rules! prof_note {
+    ($prof:expr, $q:expr, $kind:expr, $now:expr, $sm:expr, $page:expr) => {
+        if let Some(p) = $prof.as_mut() {
+            p.note($kind, $now, $sm, $page, $q.ring_len(), $q.far_len());
+        }
+    };
+}
+
+/// How a batch dispatch ended, from [`dispatch_batch`].
+enum BatchEnd {
+    /// Completions and the driver-free event are queued.
+    Ok,
+    /// Thrash-death: the run ends at the carried cycle.
+    Crashed(Cycle),
+    /// Service-path error: the run ends as crashed with this message.
+    Error(String),
+}
+
+/// Dispatch the accumulated fault batch to the host driver and queue
+/// its completions. Shared by the fault arm (driver idle at fault time)
+/// and the `DriverFree` arm (faults accumulated while busy) — the two
+/// call sites were near-verbatim duplicates before the fast-lane
+/// refactor.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_batch(
+    dispatch: Cycle,
+    cfg: &GpuConfig,
+    tracing: bool,
+    driver: &mut UvmDriver,
+    xlat: &mut TranslationPath,
+    caches: &mut DataHierarchy,
+    q: &mut EventQueue<Event>,
+    waiting: &crate::waiters::WaiterTable,
+    fault_spans: &sim_core::FxHashMap<(u64, u32), (SpanId, SpanId, u64)>,
+    pending_faults: &mut Vec<VirtPage>,
+    batch_buf: &mut Vec<VirtPage>,
+    timeline: &mut Vec<TimelinePoint>,
+) -> BatchEnd {
+    std::mem::swap(pending_faults, batch_buf);
+    let r = match driver.service_batch(batch_buf, dispatch, xlat) {
+        Ok(r) => r,
+        Err(e) => return BatchEnd::Error(e.to_string()),
+    };
+    batch_buf.clear();
+    if r.crashed {
+        return BatchEnd::Crashed(r.done_at);
+    }
+    if tracing {
+        record_batch_spans(
+            driver.tracer_mut(),
+            &r.completions,
+            waiting,
+            fault_spans,
+            dispatch,
+            cfg.warps_per_sm,
+        );
+    }
+    // Overflow tail (injected queue-depth limit): re-queue for the next
+    // batch.
+    pending_faults.extend_from_slice(&r.deferred);
+    for &p in &r.evicted {
+        caches.invalidate(p);
+    }
+    for &(page, t) in &r.completions {
+        q.push(t, Event::PageReady(page));
+    }
+    q.push(r.host_done, Event::DriverFree);
+    if cfg.record_timeline {
+        let st = driver.engine().stats;
+        timeline.push(TimelinePoint {
+            cycle: dispatch.0,
+            faults: st.faults,
+            pages_migrated: st.pages_migrated,
+            pages_evicted: st.pages_evicted,
+            resident_pages: xlat.page_table().resident_count() as u64,
+        });
+    }
+    driver.recycle(r);
+    BatchEnd::Ok
+}
+
 /// Close the fault-queue-wait span of every lane whose fault this batch
 /// completed, and hang its batch-service span off the fault root. A page
 /// may appear in `completions` more than once (a coalesced duplicate and
@@ -325,8 +415,11 @@ pub fn simulate(
     let mut end = Cycle::ZERO;
     let mut timeline: Vec<TimelinePoint> = Vec::new();
     let mut error: Option<String> = None;
+    let fast_lane = cfg.fast_lane;
+    // Reused scratch for same-cycle lane wakes (PageReady bulk push).
+    let mut wake_buf: Vec<Event> = Vec::new();
 
-    while let Some((now, ev)) = q.pop() {
+    'main: while let Some((now, ev)) = q.pop() {
         end = now;
         if now.0 > cfg.max_cycles {
             outcome = Outcome::Timeout;
@@ -338,16 +431,7 @@ pub fn simulate(
                 let stream = &streams[l];
                 let sm16 = (l / cfg.warps_per_sm) as u16;
                 if idx[l] >= stream.len() {
-                    if let Some(p) = prof.as_mut() {
-                        p.note(
-                            HostKind::LaneDrained,
-                            now.0,
-                            Some(sm16),
-                            None,
-                            q.ring_len(),
-                            q.far_len(),
-                        );
-                    }
+                    prof_note!(prof, q, HostKind::LaneDrained, now.0, Some(sm16), None);
                     continue; // lane drained; no further events
                 }
                 let step = match stream[idx[l]] {
@@ -358,195 +442,216 @@ pub fn simulate(
                         arrivals[b] += 1;
                         if arrivals[b] == participants[b] {
                             // Kernel relaunch: everyone proceeds after
-                            // the launch overhead.
+                            // the launch overhead — all at the same
+                            // cycle, so one bulk push.
                             let resume = now.after(cfg.launch_overhead_cycles);
-                            for w in waiters[b].drain(..) {
-                                q.push(resume, Event::LaneReady(w));
-                            }
-                            q.push(resume, Event::LaneReady(lane));
+                            q.push_n(
+                                resume,
+                                waiters[b]
+                                    .drain(..)
+                                    .chain(std::iter::once(lane))
+                                    .map(Event::LaneReady),
+                            );
                         } else {
                             waiters[b].push(lane);
                         }
-                        if let Some(p) = prof.as_mut() {
-                            p.note(
-                                HostKind::Barrier,
-                                now.0,
-                                Some(sm16),
-                                None,
-                                q.ring_len(),
-                                q.far_len(),
-                            );
-                        }
+                        prof_note!(prof, q, HostKind::Barrier, now.0, Some(sm16), None);
                         continue;
                     }
                     LaneItem::Access(step) => step,
                 };
                 let sm = SmId(sm16);
-                let (out, timing) = xlat.translate_timed(sm, step.page, now);
-                match out {
-                    TranslationOutcome::Hit { ready_at, .. } => {
-                        if tracing {
-                            if let Some((root, replay)) = replay_spans.remove(&lane) {
-                                let tr = driver.tracer_mut();
-                                tr.span_close(replay, ready_at.0);
-                                tr.span_close(root, ready_at.0);
+                // Hit-path fast lane. The first iteration handles the
+                // event just popped; afterwards, while the lane's next
+                // access is a provable hit and no other event can fire
+                // first, keep executing inline (run-ahead) instead of
+                // round-tripping each access through the queue.
+                let mut now = now;
+                let mut step = step;
+                let mut streak = 0u32;
+                loop {
+                    let (out, timing) = xlat.translate_timed(sm, step.page, now);
+                    match out {
+                        TranslationOutcome::Hit { ready_at, .. } => {
+                            // Only the streak head can be a replay
+                            // (replays wake through the queue), so the
+                            // span-map lookup is hoisted out of the
+                            // run-ahead inner loop.
+                            if tracing && streak == 0 {
+                                if let Some((root, replay)) = replay_spans.remove(&lane) {
+                                    let tr = driver.tracer_mut();
+                                    tr.span_close(replay, ready_at.0);
+                                    tr.span_close(root, ready_at.0);
+                                }
                             }
-                        }
-                        xlat.mark_touched(step.page);
-                        let dlat = caches.access(sm.idx(), step.page, now);
-                        idx[l] += 1;
-                        accesses += 1;
-                        let compute = if cfg.compute_jitter > 0.0 {
-                            let f = 1.0 - cfg.compute_jitter
-                                + 2.0 * cfg.compute_jitter * jitter[l].gen_f64();
-                            (f64::from(step.compute) * f) as u64
-                        } else {
-                            u64::from(step.compute)
-                        };
-                        q.push(ready_at.after(dlat + compute), Event::LaneReady(lane));
-                        if let Some(p) = prof.as_mut() {
-                            p.note(
+                            xlat.mark_touched(step.page);
+                            let dlat = caches.access(sm.idx(), step.page, now);
+                            idx[l] += 1;
+                            accesses += 1;
+                            let compute = if cfg.compute_jitter > 0.0 {
+                                let f = 1.0 - cfg.compute_jitter
+                                    + 2.0 * cfg.compute_jitter * jitter[l].gen_f64();
+                                (f64::from(step.compute) * f) as u64
+                            } else {
+                                u64::from(step.compute)
+                            };
+                            let wake = ready_at.after(dlat + compute);
+                            // Run-ahead hazard check — all must hold, or
+                            // we fall back to the one-event-per-access
+                            // round trip:
+                            //  * the next item is an access to a resident
+                            //    page (the walker faults exactly on
+                            //    non-residency, so this predicts a hit);
+                            //  * no pending event fires at or before
+                            //    `wake` (a same-cycle event queued earlier
+                            //    would pop first, hence strictly-greater);
+                            //  * `wake` respects the timeout guard;
+                            //  * the streak is bounded.
+                            let run_ahead = fast_lane
+                                && streak < MAX_STREAK
+                                && wake.0 <= cfg.max_cycles
+                                && matches!(
+                                    stream.get(idx[l]),
+                                    Some(LaneItem::Access(n))
+                                        if xlat.page_table().is_resident(n.page)
+                                )
+                                && q.peek_time().is_none_or(|t| t > wake);
+                            if run_ahead {
+                                prof_note!(
+                                    prof,
+                                    q,
+                                    HostKind::AccessHit,
+                                    now.0,
+                                    Some(sm.0),
+                                    Some(step.page.0)
+                                );
+                                end = wake;
+                                now = wake;
+                                streak += 1;
+                                step = match stream[idx[l]] {
+                                    LaneItem::Access(s) => s,
+                                    LaneItem::Barrier => {
+                                        unreachable!("hazard check admits accesses only")
+                                    }
+                                };
+                                continue;
+                            }
+                            q.push(wake, Event::LaneReady(lane));
+                            prof_note!(
+                                prof,
+                                q,
                                 HostKind::AccessHit,
                                 now.0,
                                 Some(sm.0),
-                                Some(step.page.0),
-                                q.ring_len(),
-                                q.far_len(),
+                                Some(step.page.0)
                             );
+                            break;
                         }
-                    }
-                    TranslationOutcome::Fault { at } => {
-                        if tracing {
-                            let tr = driver.tracer_mut();
-                            // A replaying lane that faults again (page
-                            // evicted or its migration aborted) ends the
-                            // old lifecycle at the re-issue and opens a
-                            // fresh one.
-                            if let Some((root, replay)) = replay_spans.remove(&lane) {
-                                tr.span_close(replay, now.0);
-                                tr.span_close(root, now.0);
-                            }
-                            let page = step.page.0;
-                            let root = tr.span_open(
-                                SpanStage::FaultTotal,
-                                now.0,
-                                SpanId::NONE,
-                                sm.0,
-                                lane,
-                                page,
-                            );
-                            tr.span(
-                                SpanStage::TlbL1,
-                                now.0,
-                                timing.l1_done.0,
-                                root,
-                                sm.0,
-                                lane,
-                                page,
-                            );
-                            tr.span(
-                                SpanStage::TlbL2,
-                                timing.l1_done.0,
-                                timing.l2_done.0,
-                                root,
-                                sm.0,
-                                lane,
-                                page,
-                            );
-                            tr.span(
-                                SpanStage::WalkerQueue,
-                                timing.l2_done.0,
-                                timing.walk_started.0,
-                                root,
-                                sm.0,
-                                lane,
-                                page,
-                            );
-                            tr.span(
-                                SpanStage::PageWalk,
-                                timing.walk_started.0,
-                                at.0,
-                                root,
-                                sm.0,
-                                lane,
-                                page,
-                            );
-                            let queue_wait = tr.span_open(
-                                SpanStage::FaultQueueWait,
-                                at.0,
-                                root,
-                                sm.0,
-                                lane,
-                                page,
-                            );
-                            fault_spans.insert((page, lane), (root, queue_wait, at.0));
-                        }
-                        pending_faults.push(step.page);
-                        waiting.push(step.page, lane);
-                        let mut kind = HostKind::FaultQueued;
-                        if !driver_busy {
-                            kind = HostKind::BatchDispatch;
-                            driver_busy = true;
-                            std::mem::swap(&mut pending_faults, &mut batch_buf);
-                            let r = match driver.service_batch(&batch_buf, at, &mut xlat) {
-                                Ok(r) => r,
-                                Err(e) => {
-                                    error = Some(e.to_string());
-                                    outcome = Outcome::Crashed;
-                                    break;
-                                }
-                            };
-                            batch_buf.clear();
-                            if r.crashed {
-                                outcome = Outcome::Crashed;
-                                end = r.done_at;
-                                break;
-                            }
+                        TranslationOutcome::Fault { at } => {
                             if tracing {
-                                record_batch_spans(
-                                    driver.tracer_mut(),
-                                    &r.completions,
+                                let tr = driver.tracer_mut();
+                                // A replaying lane that faults again (page
+                                // evicted or its migration aborted) ends the
+                                // old lifecycle at the re-issue and opens a
+                                // fresh one.
+                                if let Some((root, replay)) = replay_spans.remove(&lane) {
+                                    tr.span_close(replay, now.0);
+                                    tr.span_close(root, now.0);
+                                }
+                                let page = step.page.0;
+                                let root = tr.span_open(
+                                    SpanStage::FaultTotal,
+                                    now.0,
+                                    SpanId::NONE,
+                                    sm.0,
+                                    lane,
+                                    page,
+                                );
+                                tr.span(
+                                    SpanStage::TlbL1,
+                                    now.0,
+                                    timing.l1_done.0,
+                                    root,
+                                    sm.0,
+                                    lane,
+                                    page,
+                                );
+                                tr.span(
+                                    SpanStage::TlbL2,
+                                    timing.l1_done.0,
+                                    timing.l2_done.0,
+                                    root,
+                                    sm.0,
+                                    lane,
+                                    page,
+                                );
+                                tr.span(
+                                    SpanStage::WalkerQueue,
+                                    timing.l2_done.0,
+                                    timing.walk_started.0,
+                                    root,
+                                    sm.0,
+                                    lane,
+                                    page,
+                                );
+                                tr.span(
+                                    SpanStage::PageWalk,
+                                    timing.walk_started.0,
+                                    at.0,
+                                    root,
+                                    sm.0,
+                                    lane,
+                                    page,
+                                );
+                                let queue_wait = tr.span_open(
+                                    SpanStage::FaultQueueWait,
+                                    at.0,
+                                    root,
+                                    sm.0,
+                                    lane,
+                                    page,
+                                );
+                                fault_spans.insert((page, lane), (root, queue_wait, at.0));
+                            }
+                            pending_faults.push(step.page);
+                            waiting.push(step.page, lane);
+                            let mut kind = HostKind::FaultQueued;
+                            if !driver_busy {
+                                kind = HostKind::BatchDispatch;
+                                driver_busy = true;
+                                match dispatch_batch(
+                                    at,
+                                    cfg,
+                                    tracing,
+                                    &mut driver,
+                                    &mut xlat,
+                                    &mut caches,
+                                    &mut q,
                                     &waiting,
                                     &fault_spans,
-                                    at,
-                                    cfg.warps_per_sm,
-                                );
+                                    &mut pending_faults,
+                                    &mut batch_buf,
+                                    &mut timeline,
+                                ) {
+                                    BatchEnd::Ok => {}
+                                    BatchEnd::Crashed(done) => {
+                                        outcome = Outcome::Crashed;
+                                        end = done;
+                                        break 'main;
+                                    }
+                                    BatchEnd::Error(e) => {
+                                        error = Some(e);
+                                        outcome = Outcome::Crashed;
+                                        break 'main;
+                                    }
+                                }
                             }
-                            // Overflow tail (injected queue-depth limit):
-                            // re-queue for the next batch.
-                            pending_faults.extend_from_slice(&r.deferred);
-                            for &p in &r.evicted {
-                                caches.invalidate(p);
-                            }
-                            for &(page, t) in &r.completions {
-                                q.push(t, Event::PageReady(page));
-                            }
-                            q.push(r.host_done, Event::DriverFree);
-                            if cfg.record_timeline {
-                                let st = driver.engine().stats;
-                                timeline.push(TimelinePoint {
-                                    cycle: at.0,
-                                    faults: st.faults,
-                                    pages_migrated: st.pages_migrated,
-                                    pages_evicted: st.pages_evicted,
-                                    resident_pages: xlat.page_table().resident_count() as u64,
-                                });
-                            }
-                            driver.recycle(r);
-                        }
-                        if let Some(p) = prof.as_mut() {
                             // A dispatching fault is driver-side (serial)
                             // work for the cohort model; a queued fault
                             // stays attributed to its SM.
                             let cohort_sm = (kind == HostKind::FaultQueued).then_some(sm.0);
-                            p.note(
-                                kind,
-                                now.0,
-                                cohort_sm,
-                                Some(step.page.0),
-                                q.ring_len(),
-                                q.far_len(),
-                            );
+                            prof_note!(prof, q, kind, now.0, cohort_sm, Some(step.page.0));
+                            break;
                         }
                     }
                 }
@@ -554,7 +659,9 @@ pub fn simulate(
             Event::PageReady(page) => {
                 // Lanes that faulted on this page replay now; lanes that
                 // faulted on sibling pages of the same chunk were given
-                // their own completions by the driver.
+                // their own completions by the driver. The wakes are all
+                // same-cycle, so they collect into one bulk push.
+                wake_buf.clear();
                 waiting.take(page, |lane| {
                     if tracing {
                         if let Some((root, queue_wait, _)) = fault_spans.remove(&(page.0, lane)) {
@@ -569,18 +676,10 @@ pub fn simulate(
                             replay_spans.insert(lane, (root, replay));
                         }
                     }
-                    q.push(now, Event::LaneReady(lane));
+                    wake_buf.push(Event::LaneReady(lane));
                 });
-                if let Some(p) = prof.as_mut() {
-                    p.note(
-                        HostKind::PageReady,
-                        now.0,
-                        None,
-                        Some(page.0),
-                        q.ring_len(),
-                        q.far_len(),
-                    );
-                }
+                q.push_n(now, wake_buf.drain(..));
+                prof_note!(prof, q, HostKind::PageReady, now.0, None, Some(page.0));
             }
             Event::DriverFree => {
                 driver_busy = false;
@@ -590,59 +689,39 @@ pub fn simulate(
                 // amortizes the far-fault round trip.
                 if dispatched {
                     driver_busy = true;
-                    std::mem::swap(&mut pending_faults, &mut batch_buf);
-                    let r = match driver.service_batch(&batch_buf, now, &mut xlat) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            error = Some(e.to_string());
+                    match dispatch_batch(
+                        now,
+                        cfg,
+                        tracing,
+                        &mut driver,
+                        &mut xlat,
+                        &mut caches,
+                        &mut q,
+                        &waiting,
+                        &fault_spans,
+                        &mut pending_faults,
+                        &mut batch_buf,
+                        &mut timeline,
+                    ) {
+                        BatchEnd::Ok => {}
+                        BatchEnd::Crashed(done) => {
+                            outcome = Outcome::Crashed;
+                            end = done;
+                            break;
+                        }
+                        BatchEnd::Error(e) => {
+                            error = Some(e);
                             outcome = Outcome::Crashed;
                             break;
                         }
-                    };
-                    batch_buf.clear();
-                    if r.crashed {
-                        outcome = Outcome::Crashed;
-                        end = r.done_at;
-                        break;
                     }
-                    if tracing {
-                        record_batch_spans(
-                            driver.tracer_mut(),
-                            &r.completions,
-                            &waiting,
-                            &fault_spans,
-                            now,
-                            cfg.warps_per_sm,
-                        );
-                    }
-                    pending_faults.extend_from_slice(&r.deferred);
-                    for &p in &r.evicted {
-                        caches.invalidate(p);
-                    }
-                    for &(page, t) in &r.completions {
-                        q.push(t, Event::PageReady(page));
-                    }
-                    q.push(r.host_done, Event::DriverFree);
-                    if cfg.record_timeline {
-                        let st = driver.engine().stats;
-                        timeline.push(TimelinePoint {
-                            cycle: now.0,
-                            faults: st.faults,
-                            pages_migrated: st.pages_migrated,
-                            pages_evicted: st.pages_evicted,
-                            resident_pages: xlat.page_table().resident_count() as u64,
-                        });
-                    }
-                    driver.recycle(r);
                 }
-                if let Some(p) = prof.as_mut() {
-                    let kind = if dispatched {
-                        HostKind::BatchDispatch
-                    } else {
-                        HostKind::DriverIdle
-                    };
-                    p.note(kind, now.0, None, None, q.ring_len(), q.far_len());
-                }
+                let kind = if dispatched {
+                    HostKind::BatchDispatch
+                } else {
+                    HostKind::DriverIdle
+                };
+                prof_note!(prof, q, kind, now.0, None, None);
             }
         }
     }

@@ -1,10 +1,16 @@
 //! Extension: host-side self-profiler + parallelism observatory. Usage:
-//! `cargo run --release -p harness --bin hostprof [--check]`
+//! `cargo run --release -p harness --bin hostprof [--check]
+//! [--scale S] [--rate R]`
 //!
 //! Profiles the event loop over STN/KMN/SRD plus the synthesized
 //! serving stream (CPPE preset, warmup + best-of-N interleaved on/off
 //! arms), prints the attribution/ceiling report and writes
 //! `results/BENCH_hostprof.json`.
+//!
+//! `--scale`/`--rate` override the bench point (defaults 0.25 / 0.5):
+//! the ROADMAP's parallelism item needs cohort shapes at full scale
+//! and high oversubscription (`--scale 1.0 --rate 0.25`), where the
+//! per-cycle cohorts are widest.
 //!
 //! With `--check`: exits non-zero when the geometric-mean on/off wall
 //! ratio exceeds the 5 % overhead budget — the CI hostprof gate. A
@@ -15,30 +21,44 @@
 use harness::experiments::hostprof;
 use harness::ExpConfig;
 
+fn flag_value(args: &[String], name: &str) -> Option<f64> {
+    let pos = args.iter().position(|a| a == name)?;
+    let raw = args.get(pos + 1)?;
+    match raw.parse::<f64>() {
+        Ok(v) if v > 0.0 => Some(v),
+        _ => {
+            eprintln!("[hostprof] bad {name} value {raw:?} (want a positive number)");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    let scale = flag_value(&args, "--scale").unwrap_or(hostprof::BENCH_SCALE);
+    let rate = flag_value(&args, "--rate").unwrap_or(hostprof::RATE);
 
     let cfg = ExpConfig::default();
     let t0 = std::time::Instant::now();
     let server = hostprof::start_status();
-    let mut cells = hostprof::measure(&cfg);
+    let mut cells = hostprof::measure_at(&cfg, scale, rate);
     let (mut gate, mut failed) = hostprof::check_overhead(&cells);
     if check && failed {
         eprintln!("[hostprof] overhead gate missed; re-measuring once to rule out noise");
-        cells = hostprof::measure(&cfg);
+        cells = hostprof::measure_at(&cfg, scale, rate);
         (gate, failed) = hostprof::check_overhead(&cells);
     }
     if let Some(handle) = &server {
         handle.publish(&cells);
     }
-    let doc = hostprof::hostprof_json(&cells);
+    let doc = hostprof::hostprof_json_at(&cells, scale, rate);
     match harness::report::save("BENCH_hostprof.json", &doc) {
         Ok(path) => eprintln!("[hostprof] export saved to {}", path.display()),
         Err(e) => eprintln!("[hostprof] could not save export: {e}"),
     }
 
-    println!("{}", hostprof::render_report(&cells));
+    println!("{}", hostprof::render_report_at(&cells, scale, rate));
     println!("{gate}");
     eprintln!("[hostprof] completed in {:.1?}", t0.elapsed());
     if let Some(handle) = &server {

@@ -176,10 +176,21 @@ fn best(times: Vec<f64>) -> f64 {
 /// cycles or accesses — profiling must be read-only.
 #[must_use]
 pub fn measure(cfg: &ExpConfig) -> Vec<HostprofCell> {
-    let cfg = ExpConfig {
-        scale: BENCH_SCALE,
-        ..*cfg
-    };
+    measure_at(cfg, BENCH_SCALE, RATE)
+}
+
+/// [`measure`] at an explicit workload scale and oversubscription rate
+/// (capacity = `rate × footprint`). The ROADMAP's parallelism item
+/// needs cohort shapes at full scale / high oversubscription, not just
+/// the bench point — `--bin hostprof --scale 1.0 --rate 0.25` runs
+/// this.
+///
+/// # Panics
+/// Panics if the profiled run diverges from the unprofiled run in
+/// cycles or accesses — profiling must be read-only.
+#[must_use]
+pub fn measure_at(cfg: &ExpConfig, scale: f64, rate: f64) -> Vec<HostprofCell> {
+    let cfg = ExpConfig { scale, ..*cfg };
     let lanes = cfg.gpu.lanes();
     let mut cells = Vec::new();
     // (app, per-lane streams, capacity pages, footprint pages, seed)
@@ -190,14 +201,14 @@ pub fn measure(cfg: &ExpConfig) -> Vec<HostprofCell> {
         let streams: Vec<_> = (0..lanes)
             .map(|l| spec.lane_items(l, lanes, cfg.scale))
             .collect();
-        let capacity = capacity_pages(&spec, RATE, cfg.scale);
+        let capacity = capacity_pages(&spec, rate, cfg.scale);
         apps.push((abbr, streams, capacity, spec.pages(cfg.scale), spec.seed));
     }
     let (srv_streams, srv_pages) = serving_streams(lanes, cfg.scale);
     apps.push((
         SERVING,
         srv_streams,
-        capacity_for(srv_pages, RATE),
+        capacity_for(srv_pages, rate),
         srv_pages,
         0x5E41_11CE,
     ));
@@ -284,13 +295,20 @@ fn write_kinds(s: &mut String, p: &HostProfile) {
 }
 
 /// Render cells as the `BENCH_hostprof.json` document (schema
-/// [`SCHEMA`]).
+/// [`SCHEMA`]) at the default bench scale/rate.
 #[must_use]
 pub fn hostprof_json(cells: &[HostprofCell]) -> String {
+    hostprof_json_at(cells, BENCH_SCALE, RATE)
+}
+
+/// [`hostprof_json`] with an explicit scale/rate stamp (must match the
+/// [`measure_at`] call that produced `cells`).
+#[must_use]
+pub fn hostprof_json_at(cells: &[HostprofCell], scale: f64, rate: f64) -> String {
     let mut s = String::from("{");
     let _ = write!(
         s,
-        "\"schema\":\"{SCHEMA}\",\"scale\":{BENCH_SCALE},\"rate\":{RATE},\
+        "\"schema\":\"{SCHEMA}\",\"scale\":{scale},\"rate\":{rate},\
          \"reps\":{REPS},\"apps\":["
     );
     for (i, c) in cells.iter().enumerate() {
@@ -596,9 +614,15 @@ impl telemetry::OpsSource for HostprofOps {
 /// queue/alloc/cohort summary and the projected speedup ceilings.
 #[must_use]
 pub fn render_report(cells: &[HostprofCell]) -> String {
+    render_report_at(cells, BENCH_SCALE, RATE)
+}
+
+/// [`render_report`] with an explicit scale/rate header.
+#[must_use]
+pub fn render_report_at(cells: &[HostprofCell], scale: f64, rate: f64) -> String {
     let mut out = format!(
         "Hostprof (extension) — host wall-clock attribution and parallelism \
-         readiness\nCPPE preset at scale {BENCH_SCALE}, rate {RATE}, best of {REPS} \
+         readiness\nCPPE preset at scale {scale}, rate {rate}, best of {REPS} \
          interleaved runs per arm\n(machine-readable export in results/BENCH_hostprof.json, \
          schema {SCHEMA})\n\n"
     );

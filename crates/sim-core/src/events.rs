@@ -48,6 +48,9 @@ const RING: u64 = 2048;
 const RING_MASK: u64 = RING - 1;
 /// Occupancy bitmap words (64 buckets per word).
 const WORDS: usize = (RING / 64) as usize;
+// The word-summary bitmap is a u32 whose circular scan is a single
+// rotate; both assume exactly 32 words.
+const _: () = assert!(WORDS == 32, "summary bitmap sized for RING = 2048");
 /// Null slab index for the intrusive bucket lists.
 const NIL: u32 = u32::MAX;
 
@@ -107,6 +110,11 @@ pub struct EventQueue<E> {
     free: u32,
     /// One bit per bucket: set iff the bucket is non-empty.
     occupied: [u64; WORDS],
+    /// One bit per `occupied` word: set iff that word is non-zero.
+    /// Makes the worst-case next-bucket scan one rotate + one
+    /// trailing_zeros instead of a 32-word walk. `WORDS` is 32, so the
+    /// whole summary fits a `u32` and circular order is a rotate.
+    summary: u32,
     /// Events scheduled at `now + RING` or later, plus their seqs.
     far: BinaryHeap<Entry<E>>,
     ring_len: usize,
@@ -130,6 +138,7 @@ impl<E> EventQueue<E> {
             slab: Vec::new(),
             free: NIL,
             occupied: [0; WORDS],
+            summary: 0,
             far: BinaryHeap::new(),
             ring_len: 0,
             next_seq: 0,
@@ -162,8 +171,64 @@ impl<E> EventQueue<E> {
         self.push(self.now.after(delta), event);
     }
 
+    /// Schedule a batch of events all firing at `at`, in iterator order
+    /// (FIFO-equivalent to pushing them one by one). The tier check,
+    /// bucket index and occupancy-bit updates are paid once per batch
+    /// instead of once per event — the bulk path for barrier releases
+    /// and fault-completion lane wakes, which are always same-cycle.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the time of the last popped event.
+    pub fn push_n<I: IntoIterator<Item = E>>(&mut self, at: Cycle, events: I) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        if at.0 - self.now.0 >= RING {
+            for event in events {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.far.push(Entry { at, seq, event });
+            }
+            return;
+        }
+        let idx = (at.0 & RING_MASK) as usize;
+        let mut tail = self.tails[idx];
+        let mut n = 0u64;
+        for event in events {
+            let cell = self.alloc_cell(event);
+            if tail == NIL {
+                self.heads[idx] = cell;
+            } else {
+                self.slab[tail as usize].next = cell;
+            }
+            tail = cell;
+            n += 1;
+        }
+        if n == 0 {
+            return;
+        }
+        self.tails[idx] = tail;
+        self.occupied[idx / 64] |= 1 << (idx % 64);
+        self.summary |= 1 << (idx / 64);
+        self.ring_len += n as usize;
+        self.next_seq += n;
+    }
+
     /// Pop the earliest event, advancing the queue's notion of "now".
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        // Same-cycle drain: while the clock stands still the bucket `now`
+        // maps to can only hold events at exactly `now` (nothing earlier
+        // can exist), the far heap cannot have entered the window, and
+        // FIFO is the bucket's list order. Dense cohorts — barrier
+        // releases, batch-completion wakes, same-cycle reschedules — pop
+        // with one load and no bitmap scan.
+        let idx_now = (self.now.0 & RING_MASK) as usize;
+        if self.heads[idx_now] != NIL {
+            let event = self.bucket_pop(idx_now);
+            return Some((self.now, event));
+        }
         if self.ring_len > 0 {
             let idx = self.next_bucket().expect("ring_len > 0 has a bucket");
             let at = self.bucket_cycle(idx);
@@ -185,6 +250,10 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next event without popping it.
     #[must_use]
     pub fn peek_time(&self) -> Option<Cycle> {
+        // Mirror of `pop`'s same-cycle fast path.
+        if self.heads[(self.now.0 & RING_MASK) as usize] != NIL {
+            return Some(self.now);
+        }
         if self.ring_len > 0 {
             // Ring events always precede far events (invariant: the far
             // heap holds nothing inside the window).
@@ -226,10 +295,10 @@ impl<E> EventQueue<E> {
         self.len() == 0
     }
 
-    /// Append to the bucket for window cycle `at`, marking it occupied.
-    fn bucket_push(&mut self, at: Cycle, event: E) {
-        let idx = (at.0 & RING_MASK) as usize;
-        let cell = if self.free != NIL {
+    /// Take a slab cell for `event` from the free list (or grow the slab).
+    #[inline]
+    fn alloc_cell(&mut self, event: E) -> u32 {
+        if self.free != NIL {
             let cell = self.free;
             let node = &mut self.slab[cell as usize];
             self.free = node.next;
@@ -243,7 +312,13 @@ impl<E> EventQueue<E> {
                 next: NIL,
             });
             cell
-        };
+        }
+    }
+
+    /// Append to the bucket for window cycle `at`, marking it occupied.
+    fn bucket_push(&mut self, at: Cycle, event: E) {
+        let idx = (at.0 & RING_MASK) as usize;
+        let cell = self.alloc_cell(event);
         if self.heads[idx] == NIL {
             self.heads[idx] = cell;
         } else {
@@ -251,6 +326,7 @@ impl<E> EventQueue<E> {
         }
         self.tails[idx] = cell;
         self.occupied[idx / 64] |= 1 << (idx % 64);
+        self.summary |= 1 << (idx / 64);
         self.ring_len += 1;
     }
 
@@ -266,6 +342,9 @@ impl<E> EventQueue<E> {
         if self.heads[idx] == NIL {
             self.tails[idx] = NIL;
             self.occupied[idx / 64] &= !(1 << (idx % 64));
+            if self.occupied[idx / 64] == 0 {
+                self.summary &= !(1 << (idx / 64));
+            }
         }
         self.ring_len -= 1;
         event
@@ -278,19 +357,37 @@ impl<E> EventQueue<E> {
         Cycle(self.now.0 + offset)
     }
 
-    /// First occupied bucket in circular window order starting at `now`.
+    /// First occupied bucket in circular window order starting at `start`.
+    ///
+    /// Two-level scan: the partial first word (bits at or after `start`),
+    /// then the word-summary bitmap rotated so its LSB is the *next*
+    /// word — one `trailing_zeros` replaces the old up-to-32-word walk.
+    /// A summary hit on the start word itself is legitimate: reaching
+    /// the summary scan means the word's at-or-after bits are clear, so
+    /// any remaining bits are *before* `start` — wrapped buckets, which
+    /// circular order does place last.
     fn next_occupied_from(&self, start: usize) -> Option<usize> {
-        let (mut word, bit) = (start / 64, start % 64);
-        // Partial first word: only bits at or after `start`.
-        let mut bits = self.occupied[word] & (u64::MAX << bit);
-        for _ in 0..=WORDS {
-            if bits != 0 {
-                return Some(word * 64 + bits.trailing_zeros() as usize);
-            }
-            word = (word + 1) % WORDS;
-            bits = self.occupied[word];
+        let (word0, bit) = (start / 64, start % 64);
+        let bits = self.occupied[word0] & (u64::MAX << bit);
+        if bits != 0 {
+            return Some(word0 * 64 + bits.trailing_zeros() as usize);
         }
-        None
+        let rot = self.summary.rotate_right(((word0 + 1) % WORDS) as u32);
+        if rot == 0 {
+            return None;
+        }
+        let word = (word0 + 1 + rot.trailing_zeros() as usize) % WORDS;
+        let bits = if word == word0 {
+            // Wrapped back to the start word: only its pre-`start` bits
+            // remain (the at-or-after half was checked above). `bit` is
+            // non-zero here — were it zero, that check covered the whole
+            // word and the summary bit could not still be set.
+            self.occupied[word0] & !(u64::MAX << bit)
+        } else {
+            self.occupied[word]
+        };
+        debug_assert_ne!(bits, 0, "summary bit set on empty word");
+        Some(word * 64 + bits.trailing_zeros() as usize)
     }
 
     fn next_bucket(&self) -> Option<usize> {
@@ -466,6 +563,61 @@ mod tests {
     }
 
     #[test]
+    fn push_n_is_fifo_equivalent_to_serial_pushes() {
+        // Near tier: a batch interleaved with singles pops in exactly
+        // push order among equal cycles.
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), 0);
+        q.push_n(Cycle(5), [1, 2, 3]);
+        q.push(Cycle(5), 4);
+        q.push_n(Cycle(5), std::iter::empty::<i32>());
+        q.push_n(Cycle(2), [10]);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (Cycle(2), 10),
+                (Cycle(5), 0),
+                (Cycle(5), 1),
+                (Cycle(5), 2),
+                (Cycle(5), 3),
+                (Cycle(5), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn push_n_far_tier_keeps_order_across_the_window() {
+        // Far tier: batch seqs stay monotone with surrounding singles, so
+        // the drain into the ring preserves global FIFO.
+        let mut q = EventQueue::new();
+        q.push(Cycle(RING + 7), 0);
+        q.push_n(Cycle(RING + 7), [1, 2]);
+        q.push(Cycle(RING + 7), 3);
+        q.push(Cycle(1), 100);
+        assert_eq!(q.pop(), Some((Cycle(1), 100)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (Cycle(RING + 7), 0),
+                (Cycle(RING + 7), 1),
+                (Cycle(RING + 7), 2),
+                (Cycle(RING + 7), 3)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn push_n_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), ());
+        q.pop();
+        q.push_n(Cycle(9), [()]);
+    }
+
+    #[test]
     fn matches_reference_heap_under_random_schedules() {
         // Model-based check: the calendar queue must pop the exact
         // (cycle, payload) sequence a plain BinaryHeap reference does,
@@ -496,13 +648,25 @@ mod tests {
                 8 => RING - 2 + r % 4,
                 _ => 28_000 + r % 7_000,
             };
+            if (r >> 34).is_multiple_of(8) {
+                // Bulk same-cycle push via push_n — must interleave with
+                // singles exactly as serial pushes would.
+                let n = 2 + (r >> 40) % 3;
+                let base = *seq;
+                q.push_n(Cycle(now + delta), (0..n).map(|i| base + i));
+                for i in 0..n {
+                    reference.push(Reverse((now + delta, base + i)));
+                }
+                *seq += n;
+                return n as usize;
+            }
             q.push(Cycle(now + delta), *seq);
             reference.push(Reverse((now + delta, *seq)));
             *seq += 1;
+            1
         };
         for _ in 0..200 {
-            schedule(&mut q, &mut reference, &mut seq, 0, step());
-            pending += 1;
+            pending += schedule(&mut q, &mut reference, &mut seq, 0, step());
         }
         let mut popped = 0u64;
         while pending > 0 {
@@ -515,8 +679,7 @@ mod tests {
             if popped < 5_000 {
                 let n = step() % 3;
                 for _ in 0..n {
-                    schedule(&mut q, &mut reference, &mut seq, t.0, step());
-                    pending += 1;
+                    pending += schedule(&mut q, &mut reference, &mut seq, t.0, step());
                 }
             }
         }
